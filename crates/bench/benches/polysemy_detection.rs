@@ -1,0 +1,34 @@
+//! Bench E4 — §2(II): regenerates the polysemy-detection F-measure table
+//! (paper: 98%) with the feature-subset ablation, then times the
+//! 23-feature extraction kernel.
+
+use boe_core::polysemy::detector::FeatureContext;
+use boe_eval::exp_polysemy::{self, FeatureSubset, PolysemyExpConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let cfg = PolysemyExpConfig::default();
+    let mut results = exp_polysemy::run(&cfg);
+    // Feature-subset ablation with the best single model.
+    let ablation_cfg = PolysemyExpConfig {
+        models: vec![boe_core::polysemy::detector::PolysemyModel::Forest],
+        ..cfg.clone()
+    };
+    results.extend(exp_polysemy::run_subset(&ablation_cfg, FeatureSubset::DirectOnly));
+    results.extend(exp_polysemy::run_subset(&ablation_cfg, FeatureSubset::GraphOnly));
+    println!("\n{}", exp_polysemy::render(&results));
+
+    let (corpus, terms) = exp_polysemy::generate_term_set(&cfg);
+    let ctx = FeatureContext::build(&corpus);
+    let (term, _) = &terms[0];
+    let ids = corpus.phrase_ids(term).expect("interned");
+    c.bench_function("polysemy/features_23_one_term", |b| {
+        b.iter(|| ctx.features(&ids, term))
+    });
+    c.bench_function("polysemy/feature_context_build", |b| {
+        b.iter(|| FeatureContext::build(&corpus))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

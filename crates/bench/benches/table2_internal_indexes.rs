@@ -1,0 +1,53 @@
+//! Bench E2 — **Table 2**: times the five new internal indexes (plus the
+//! baselines) on a realistic clustering solution, and prints their scores
+//! for a controlled 3-blob fixture so the definitions are visible in the
+//! bench log.
+
+use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
+use boe_corpus::SparseVector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `k` noisy topical blobs of `per` sparse vectors each.
+fn blobs(per: usize, k: usize, dims_per_blob: u32, seed: u64) -> Vec<SparseVector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vs = Vec::new();
+    for c in 0..k as u32 {
+        for _ in 0..per {
+            let base = c * dims_per_blob;
+            let pairs: Vec<(u32, f64)> = (0..8)
+                .map(|_| (base + rng.gen_range(0..dims_per_blob), 1.0))
+                .collect();
+            vs.push(SparseVector::from_pairs(pairs).normalized());
+        }
+    }
+    vs
+}
+
+fn bench(c: &mut Criterion) {
+    let vs = blobs(60, 3, 40, 1);
+    let sol: ClusterSolution = Algorithm::Direct.cluster(&vs, 3, 7);
+
+    println!("\nTable 2 indexes on a 3-blob fixture (180 objects):");
+    for index in InternalIndex::ALL {
+        println!(
+            "  {:<18} = {:>10.4}  ({})",
+            index.name(),
+            index.score(&sol, &vs),
+            if index.maximize() { "maximize" } else { "minimize" }
+        );
+    }
+
+    for index in InternalIndex::ALL {
+        c.bench_function(&format!("table2/index_{}", index.name()), |b| {
+            b.iter(|| index.score(&sol, &vs))
+        });
+    }
+    c.bench_function("table2/cluster_direct_k3_n180", |b| {
+        b.iter(|| Algorithm::Direct.cluster(&vs, 3, 7))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Bench E5 — **Table 3**: regenerates the case-study proposition table
+//! for one held-out term and times one `propose()` call.
+
+use boe_core::linkage::{LinkerConfig, SemanticLinker};
+use boe_core::termex::candidates::CandidateOptions;
+use boe_core::termex::{TermExtractor, TermMeasure};
+use boe_eval::exp_linkage_case;
+use boe_eval::world::World;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = World::generate(&boe_bench::bench_world_config());
+    let case = exp_linkage_case::run(&world, 0, 300);
+    println!("\n{}", exp_linkage_case::render(&case));
+
+    let extractor = TermExtractor::new(&world.corpus, CandidateOptions::default());
+    let candidates: Vec<String> = extractor
+        .top(&world.corpus, TermMeasure::LidfValue, 300)
+        .into_iter()
+        .map(|t| t.surface)
+        .collect();
+    let linker = SemanticLinker::with_candidates(
+        &world.corpus,
+        &world.reduced_ontology,
+        LinkerConfig::default(),
+        &candidates,
+    );
+    let surface = world.holdout[0].surface.clone();
+    c.bench_function("table3/propose_one_term", |b| {
+        b.iter(|| linker.propose(&surface))
+    });
+    c.bench_function("table3/linker_build", |b| {
+        b.iter(|| {
+            SemanticLinker::with_candidates(
+                &world.corpus,
+                &world.reduced_ontology,
+                LinkerConfig::default(),
+                &candidates,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench E6 — **Table 4**: regenerates the precision@{1,2,5,10} table at
+//! the paper's scale (60 held-out terms), runs ablation A4 (hierarchy
+//! expansion off; candidate-pool sweep), then times the full 60-term
+//! evaluation.
+
+use boe_eval::exp_linkage_precision;
+use boe_eval::world::World;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let world = World::generate(&boe_bench::bench_world_config());
+    let result = exp_linkage_precision::run(&world, 300, true);
+    println!("\n{}", exp_linkage_precision::render(&result));
+
+    // Ablation A4: hierarchy expansion + candidate-pool width.
+    let no_hier = exp_linkage_precision::run(&world, 300, false);
+    println!(
+        "ablation A4a — hierarchy expansion: top-10 {:.3} with vs {:.3} without",
+        result.at[3], no_hier.at[3]
+    );
+    for pool in [50usize, 150, 300] {
+        let r = exp_linkage_precision::run(&world, pool, true);
+        println!(
+            "ablation A4b — candidate pool {pool:>3}: P@1 {:.3}  P@2 {:.3}  P@5 {:.3}  P@10 {:.3}",
+            r.at[0], r.at[1], r.at[2], r.at[3]
+        );
+    }
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("precision_at_n_60_terms", |b| {
+        b.iter(|| exp_linkage_precision::run(&world, 300, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench A3 — term-extraction measure ablation: compares all seven
+//! BIOTEX measures on a corpus with known gold terms (precision@N of
+//! recovering concept labels), then times candidate extraction and each
+//! measure's ranking pass.
+
+use boe_core::termex::candidates::CandidateOptions;
+use boe_core::termex::{TermExtractor, TermMeasure};
+use boe_eval::world::{World, WorldConfig};
+use boe_textkit::normalize::match_key;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+
+fn bench(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig {
+        n_concepts: 150,
+        n_holdout: 15,
+        abstracts_per_concept: 5,
+        ..Default::default()
+    });
+    // Gold = every term of the full ontology (multi-word concept labels).
+    let gold: HashSet<String> = world
+        .full_ontology
+        .terms()
+        .iter()
+        .map(|(t, _)| match_key(t))
+        .collect();
+    let extractor = TermExtractor::new(&world.corpus, CandidateOptions::default());
+
+    println!("\nAblation A3 — precision@100 of gold-term recovery per measure:");
+    for measure in TermMeasure::ALL {
+        let top = extractor.top(&world.corpus, measure, 100);
+        let hits = top
+            .iter()
+            .filter(|t| gold.contains(&match_key(&t.surface)))
+            .count();
+        println!("  {:<12} P@100 = {:.3}", measure.name(), hits as f64 / 100.0);
+    }
+
+    c.bench_function("term_extraction/extract_candidates", |b| {
+        b.iter(|| TermExtractor::new(&world.corpus, CandidateOptions::default()))
+    });
+    for measure in TermMeasure::ALL {
+        c.bench_function(&format!("term_extraction/rank_{}", measure.name()), |b| {
+            b.iter(|| extractor.rank(&world.corpus, measure))
+        });
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! External clustering-quality indexes.
+//!
+//! The paper (§2(III)) distinguishes two kinds of quality indexes:
+//! *external* ones, which compare a solution against pre-labelled data,
+//! and *internal* ones, which it builds its contribution on. The
+//! experiments use external indexes to sanity-check the clustering
+//! substrate against the synthetic gold senses: purity, normalized
+//! mutual information (NMI) and the adjusted Rand index (ARI).
+
+use crate::solution::ClusterSolution;
+
+/// Contingency counts between a solution and gold labels.
+fn contingency(solution: &ClusterSolution, gold: &[usize]) -> (Vec<Vec<usize>>, usize, usize) {
+    assert_eq!(solution.len(), gold.len(), "label length mismatch");
+    let k = solution.k();
+    let g = gold.iter().copied().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0usize; g]; k];
+    for (i, &gl) in gold.iter().enumerate() {
+        table[solution.assignment(i)][gl] += 1;
+    }
+    (table, k, g)
+}
+
+/// Purity: fraction of objects belonging to their cluster's majority
+/// gold class. In (0, 1]; 1 iff every cluster is gold-pure.
+pub fn purity(solution: &ClusterSolution, gold: &[usize]) -> f64 {
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let (table, _, _) = contingency(solution, gold);
+    let majority: usize = table
+        .iter()
+        .map(|row| row.iter().copied().max().unwrap_or(0))
+        .sum();
+    majority as f64 / gold.len() as f64
+}
+
+/// Normalized mutual information (arithmetic normalization):
+/// `NMI = 2 I(C;G) / (H(C) + H(G))`. In [0, 1]; 0 for independent
+/// labellings, 1 for identical partitions. Degenerate single-cluster /
+/// single-class cases return 0.
+pub fn nmi(solution: &ClusterSolution, gold: &[usize]) -> f64 {
+    let n = gold.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let (table, k, g) = contingency(solution, gold);
+    let nf = n as f64;
+    let row_sums: Vec<f64> = table
+        .iter()
+        .map(|r| r.iter().sum::<usize>() as f64)
+        .collect();
+    let mut col_sums = vec![0.0f64; g];
+    for row in &table {
+        for (c, &v) in row.iter().enumerate() {
+            col_sums[c] += v as f64;
+        }
+    }
+    let mut mi = 0.0;
+    for i in 0..k {
+        for j in 0..g {
+            let nij = table[i][j] as f64;
+            if nij > 0.0 {
+                mi += (nij / nf) * ((nij * nf) / (row_sums[i] * col_sums[j])).ln();
+            }
+        }
+    }
+    let h = |sums: &[f64]| -> f64 {
+        sums.iter()
+            .filter(|&&s| s > 0.0)
+            .map(|&s| {
+                let p = s / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hc = h(&row_sums);
+    let hg = h(&col_sums);
+    if hc + hg <= 0.0 {
+        0.0
+    } else {
+        (2.0 * mi / (hc + hg)).clamp(0.0, 1.0)
+    }
+}
+
+/// Adjusted Rand index: pair-counting agreement corrected for chance.
+/// 1 for identical partitions, ~0 for random ones (can be negative).
+pub fn adjusted_rand(solution: &ClusterSolution, gold: &[usize]) -> f64 {
+    let n = gold.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let (table, _, g) = contingency(solution, gold);
+    let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
+    let sum_ij: f64 = table.iter().flatten().map(|&v| choose2(v)).sum();
+    let sum_i: f64 = table
+        .iter()
+        .map(|r| choose2(r.iter().sum::<usize>()))
+        .sum();
+    let mut col_sums = vec![0usize; g];
+    for row in &table {
+        for (c, &v) in row.iter().enumerate() {
+            col_sums[c] += v;
+        }
+    }
+    let sum_j: f64 = col_sums.iter().map(|&v| choose2(v)).sum();
+    let total = choose2(n);
+    let expected = sum_i * sum_j / total;
+    let max_index = (sum_i + sum_j) / 2.0;
+    if (max_index - expected).abs() < 1e-12 {
+        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    (sum_ij - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(labels: &[usize], k: usize) -> ClusterSolution {
+        ClusterSolution::new(labels.to_vec(), k)
+    }
+
+    #[test]
+    fn perfect_partition_scores_one() {
+        let s = sol(&[0, 0, 1, 1, 2, 2], 3);
+        let gold = [0, 0, 1, 1, 2, 2];
+        assert!((purity(&s, &gold) - 1.0).abs() < 1e-12);
+        assert!((nmi(&s, &gold) - 1.0).abs() < 1e-9);
+        assert!((adjusted_rand(&s, &gold) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        let s = sol(&[2, 2, 0, 0, 1, 1], 3);
+        let gold = [0, 0, 1, 1, 2, 2];
+        assert!((purity(&s, &gold) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand(&s, &gold) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_clusters_score_lower() {
+        let good = sol(&[0, 0, 1, 1], 2);
+        let bad = sol(&[0, 1, 0, 1], 2);
+        let gold = [0, 0, 1, 1];
+        assert!(purity(&good, &gold) > purity(&bad, &gold));
+        assert!(nmi(&good, &gold) > nmi(&bad, &gold));
+        assert!(adjusted_rand(&good, &gold) > adjusted_rand(&bad, &gold));
+        // Anti-correlated 2x2 partition: ARI should be at or below 0.
+        assert!(adjusted_rand(&bad, &gold) <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_degenerates_gracefully() {
+        let s = sol(&[0, 0, 0, 0], 1);
+        let gold = [0, 0, 1, 1];
+        assert!((purity(&s, &gold) - 0.5).abs() < 1e-12);
+        assert_eq!(nmi(&s, &gold), 0.0);
+        assert!(adjusted_rand(&s, &gold).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_matches_hand_computation() {
+        // Clusters: {0,0,1}, {1,1}: majorities 2 + 2 of 5.
+        let s = sol(&[0, 0, 0, 1, 1], 2);
+        let gold = [0, 0, 1, 1, 1];
+        assert!((purity(&s, &gold) - 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let s = sol(&[0, 1], 2);
+        let _ = purity(&s, &[0]);
+    }
+
+    #[test]
+    fn empty_gold_is_zero() {
+        // A solution cannot be empty (invariant), so test via len-1 ARI.
+        let s = sol(&[0], 1);
+        assert_eq!(adjusted_rand(&s, &[0]), 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Cluster labelling (Step III-b).
+//!
+//! "For each cluster it selects the most important features, which
+//! represent the induced concept": the top-weighted dimensions of each
+//! cluster centroid, i.e. the context words that characterize the sense.
+
+use crate::solution::ClusterSolution;
+use boe_corpus::SparseVector;
+
+/// The `top_n` most important features per cluster, as `(dimension,
+/// centroid weight)` sorted by decreasing weight (dimension id breaks
+/// ties).
+pub fn top_features(
+    solution: &ClusterSolution,
+    vectors: &[SparseVector],
+    top_n: usize,
+) -> Vec<Vec<(u32, f64)>> {
+    solution
+        .centroids(vectors)
+        .into_iter()
+        .map(|centroid| {
+            let mut entries: Vec<(u32, f64)> = centroid.iter().collect();
+            entries.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            entries.truncate(top_n);
+            entries
+        })
+        .collect()
+}
+
+/// An induced concept: the representative features of one sense cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InducedConcept {
+    /// Cluster index within the solution.
+    pub cluster: usize,
+    /// Number of supporting contexts.
+    pub support: usize,
+    /// Top features `(dimension, weight)`.
+    pub features: Vec<(u32, f64)>,
+}
+
+/// Build [`InducedConcept`]s for every cluster of a solution.
+pub fn induce_concepts(
+    solution: &ClusterSolution,
+    vectors: &[SparseVector],
+    top_n: usize,
+) -> Vec<InducedConcept> {
+    let sizes = solution.sizes();
+    top_features(solution, vectors, top_n)
+        .into_iter()
+        .enumerate()
+        .map(|(cluster, features)| InducedConcept {
+            cluster,
+            support: sizes[cluster],
+            features,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_features_are_cluster_specific() {
+        let vs = vec![
+            SparseVector::from_pairs([(1, 5.0), (9, 0.1)]),
+            SparseVector::from_pairs([(1, 4.0), (8, 0.1)]),
+            SparseVector::from_pairs([(2, 5.0)]),
+        ];
+        let sol = ClusterSolution::new(vec![0, 0, 1], 2);
+        let feats = top_features(&sol, &vs, 1);
+        assert_eq!(feats[0][0].0, 1);
+        assert_eq!(feats[1][0].0, 2);
+    }
+
+    #[test]
+    fn features_sorted_by_weight() {
+        let vs = vec![SparseVector::from_pairs([(0, 1.0), (1, 3.0), (2, 2.0)])];
+        let sol = ClusterSolution::new(vec![0], 1);
+        let feats = top_features(&sol, &vs, 3);
+        let dims: Vec<u32> = feats[0].iter().map(|(d, _)| *d).collect();
+        assert_eq!(dims, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let vs = vec![SparseVector::from_pairs([(0, 1.0), (1, 3.0), (2, 2.0)])];
+        let sol = ClusterSolution::new(vec![0], 1);
+        assert_eq!(top_features(&sol, &vs, 2)[0].len(), 2);
+    }
+
+    #[test]
+    fn induced_concepts_carry_support() {
+        let vs = vec![
+            SparseVector::from_pairs([(1, 1.0)]),
+            SparseVector::from_pairs([(1, 1.0)]),
+            SparseVector::from_pairs([(2, 1.0)]),
+        ];
+        let sol = ClusterSolution::new(vec![0, 0, 1], 2);
+        let concepts = induce_concepts(&sol, &vs, 5);
+        assert_eq!(concepts.len(), 2);
+        assert_eq!(concepts[0].support, 2);
+        assert_eq!(concepts[1].support, 1);
+        assert_eq!(concepts[1].features[0].0, 2);
+    }
+}

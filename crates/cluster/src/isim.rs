@@ -1,0 +1,135 @@
+//! CLUTO's ISIM/ESIM cluster statistics.
+//!
+//! For unit vectors and cluster composite `D_i` of size `n_i` in a
+//! collection of `N` objects with global composite `D`:
+//!
+//! * `ISIM_i = ||D_i||² / n_i²` — average pairwise similarity among the
+//!   cluster's objects (ordered pairs, self included — CLUTO's ISim);
+//! * `ESIM_i = D_i · (D − D_i) / (n_i (N − n_i))` — average similarity of
+//!   the cluster's objects to everything outside (CLUTO's ESim).
+//!
+//! These are exactly the quantities the paper's Table-2 indexes combine.
+
+use crate::solution::ClusterSolution;
+use boe_corpus::SparseVector;
+
+/// Per-cluster ISIM/ESIM values plus sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// ISIM per cluster.
+    pub isim: Vec<f64>,
+    /// ESIM per cluster (0.0 when the cluster covers every object).
+    pub esim: Vec<f64>,
+    /// Cluster sizes.
+    pub sizes: Vec<usize>,
+}
+
+impl ClusterStats {
+    /// Compute the statistics for `solution` over unit-normalized vectors.
+    pub fn compute(solution: &ClusterSolution, unit: &[SparseVector]) -> Self {
+        let comps = solution.composites(unit);
+        let sizes = solution.sizes();
+        let total = SparseVector::sum_of(&comps);
+        let n = unit.len() as f64;
+        let mut isim = Vec::with_capacity(comps.len());
+        let mut esim = Vec::with_capacity(comps.len());
+        for (d, &sz) in comps.iter().zip(&sizes) {
+            let ni = sz as f64;
+            isim.push((d.dot(d) / (ni * ni)).clamp(-1.0, 1.0));
+            let outside = n - ni;
+            if outside > 0.0 {
+                let mut rest = total.clone();
+                let mut neg = d.clone();
+                neg.scale(-1.0);
+                rest.add_assign(&neg);
+                esim.push((d.dot(&rest) / (ni * outside)).clamp(-1.0, 1.0));
+            } else {
+                esim.push(0.0);
+            }
+        }
+        ClusterStats { isim, esim, sizes }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.isim.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied()).normalized()
+    }
+
+    #[test]
+    fn identical_cluster_has_isim_one() {
+        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0)]), unit(&[(1, 1.0)])];
+        let sol = ClusterSolution::new(vec![0, 0, 1], 2);
+        let st = ClusterStats::compute(&sol, &vs);
+        assert!((st.isim[0] - 1.0).abs() < 1e-12);
+        assert!((st.isim[1] - 1.0).abs() < 1e-12, "singleton self-sim");
+        assert_eq!(st.k(), 2);
+    }
+
+    #[test]
+    fn orthogonal_clusters_have_zero_esim() {
+        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0)]), unit(&[(1, 1.0)])];
+        let sol = ClusterSolution::new(vec![0, 0, 1], 2);
+        let st = ClusterStats::compute(&sol, &vs);
+        assert!(st.esim[0].abs() < 1e-12);
+        assert!(st.esim[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn esim_matches_brute_force() {
+        let vs = vec![
+            unit(&[(0, 1.0), (1, 0.5)]),
+            unit(&[(0, 1.0)]),
+            unit(&[(1, 1.0)]),
+            unit(&[(1, 1.0), (2, 0.3)]),
+        ];
+        let sol = ClusterSolution::new(vec![0, 0, 1, 1], 2);
+        let st = ClusterStats::compute(&sol, &vs);
+        // Brute force ESIM of cluster 0.
+        let mut total = 0.0;
+        for i in [0usize, 1] {
+            for j in [2usize, 3] {
+                total += vs[i].dot(&vs[j]);
+            }
+        }
+        let expected = total / (2.0 * 2.0);
+        assert!((st.esim[0] - expected).abs() < 1e-12);
+        assert!((st.esim[0] - st.esim[1]).abs() < 1e-12, "symmetric for 2 clusters of equal size");
+    }
+
+    #[test]
+    fn isim_matches_brute_force() {
+        let vs = vec![
+            unit(&[(0, 1.0), (1, 0.5)]),
+            unit(&[(0, 1.0)]),
+            unit(&[(0, 0.2), (1, 1.0)]),
+        ];
+        let sol = ClusterSolution::new(vec![0, 0, 0], 1);
+        let st = ClusterStats::compute(&sol, &vs);
+        let mut total = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                total += vs[i].dot(&vs[j]);
+            }
+        }
+        assert!((st.isim[0] - total / 9.0).abs() < 1e-12);
+        assert_eq!(st.esim[0], 0.0, "single cluster has no outside");
+    }
+
+    #[test]
+    fn tight_clusters_beat_loose_on_isim() {
+        let tight = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0)])];
+        let loose = vec![unit(&[(0, 1.0)]), unit(&[(1, 1.0)])];
+        let s_tight = ClusterStats::compute(&ClusterSolution::new(vec![0, 0], 1), &tight);
+        let s_loose = ClusterStats::compute(&ClusterSolution::new(vec![0, 0], 1), &loose);
+        assert!(s_tight.isim[0] > s_loose.isim[0]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Spherical k-means — the `direct` method.
+//!
+//! Maximizes CLUTO's I2 criterion (`Σ_k ||composite_k||`) by alternating
+//! cosine assignment and centroid renormalization, with farthest-first
+//! seeding and deterministic tie-breaking.
+
+use crate::solution::ClusterSolution;
+use boe_corpus::SparseVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_ITERS: usize = 100;
+
+/// Cluster unit-normalized `vectors` into `k` clusters.
+pub fn spherical_kmeans(unit: &[SparseVector], k: usize, seed: u64) -> ClusterSolution {
+    let n = unit.len();
+    assert!(k >= 1 && k <= n);
+    if k == 1 {
+        return ClusterSolution::new(vec![0; n], 1);
+    }
+    if k == n {
+        return ClusterSolution::new((0..n).collect(), n);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = farthest_first_seeds(unit, k, &mut rng);
+    let mut assignments = vec![usize::MAX; n];
+    for _ in 0..MAX_ITERS {
+        let new_assignments = assign(unit, &centroids);
+        if new_assignments == assignments {
+            break;
+        }
+        assignments = new_assignments;
+        centroids = recompute_centroids(unit, &assignments, k);
+        repair_empty_clusters(unit, &mut assignments, &mut centroids, k);
+    }
+    repair_empty_clusters(unit, &mut assignments, &mut centroids, k);
+    ClusterSolution::new(assignments, k)
+}
+
+/// Farthest-first (k-means++ greedy flavour) seeding.
+fn farthest_first_seeds(unit: &[SparseVector], k: usize, rng: &mut StdRng) -> Vec<SparseVector> {
+    let n = unit.len();
+    let first = rng.gen_range(0..n);
+    let mut seeds = vec![unit[first].clone()];
+    // max similarity of each object to the chosen seeds.
+    let mut max_sim: Vec<f64> = unit.iter().map(|v| v.dot(&seeds[0])).collect();
+    while seeds.len() < k {
+        // Pick the object least similar to all current seeds.
+        let (mut best_i, mut best_s) = (0usize, f64::INFINITY);
+        for (i, &s) in max_sim.iter().enumerate() {
+            if s < best_s {
+                best_s = s;
+                best_i = i;
+            }
+        }
+        seeds.push(unit[best_i].clone());
+        for (i, v) in unit.iter().enumerate() {
+            let s = v.dot(seeds.last().expect("just pushed"));
+            if s > max_sim[i] {
+                max_sim[i] = s;
+            }
+        }
+    }
+    seeds
+}
+
+/// Assign each object to its most similar centroid (lowest index wins
+/// ties).
+fn assign(unit: &[SparseVector], centroids: &[SparseVector]) -> Vec<usize> {
+    unit.iter()
+        .map(|v| {
+            let mut best = 0usize;
+            let mut best_s = f64::NEG_INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let s = v.dot(cent);
+                if s > best_s {
+                    best_s = s;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+fn recompute_centroids(
+    unit: &[SparseVector],
+    assignments: &[usize],
+    k: usize,
+) -> Vec<SparseVector> {
+    let mut comps = vec![SparseVector::new(); k];
+    for (v, &a) in unit.iter().zip(assignments) {
+        comps[a].add_assign(v);
+    }
+    comps.into_iter().map(|c| c.normalized()).collect()
+}
+
+/// Give each empty cluster the object least similar to its current
+/// centroid (stealing from clusters of size ≥ 2).
+fn repair_empty_clusters(
+    unit: &[SparseVector],
+    assignments: &mut [usize],
+    centroids: &mut [SparseVector],
+    k: usize,
+) {
+    loop {
+        let mut sizes = vec![0usize; k];
+        for &a in assignments.iter() {
+            sizes[a] += 1;
+        }
+        let Some(empty) = sizes.iter().position(|&s| s == 0) else {
+            return;
+        };
+        // Steal the worst-fitting object from a multi-object cluster.
+        let mut worst: Option<(usize, f64)> = None;
+        for (i, v) in unit.iter().enumerate() {
+            if sizes[assignments[i]] < 2 {
+                continue;
+            }
+            let s = v.dot(&centroids[assignments[i]]);
+            if worst.is_none_or(|(_, ws)| s < ws) {
+                worst = Some((i, s));
+            }
+        }
+        let (steal, _) = worst.expect("k <= n guarantees a donor cluster");
+        assignments[steal] = empty;
+        let new_cents = recompute_centroids(unit, assignments, k);
+        centroids.clone_from_slice(&new_cents);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight orthogonal blobs of unit vectors.
+    fn blobs(per: usize) -> (Vec<SparseVector>, Vec<usize>) {
+        let mut vs = Vec::new();
+        let mut gold = Vec::new();
+        for c in 0..3u32 {
+            for i in 0..per as u32 {
+                // Dominant dimension per blob + small member-specific dim.
+                let v = SparseVector::from_pairs([(c * 100, 10.0), (c * 100 + 1 + i, 1.0)]);
+                vs.push(v.normalized());
+                gold.push(c as usize);
+            }
+        }
+        (vs, gold)
+    }
+
+    /// Fraction of pairs on which two labelings agree (Rand index).
+    fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+        let n = a.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if (a[i] == a[j]) == (b[i] == b[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_orthogonal_blobs() {
+        let (vs, gold) = blobs(8);
+        let sol = spherical_kmeans(&vs, 3, 1);
+        assert_eq!(sol.k(), 3);
+        assert!(rand_index(sol.assignments(), &gold) > 0.99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (vs, _) = blobs(6);
+        let a = spherical_kmeans(&vs, 3, 5);
+        let b = spherical_kmeans(&vs, 3, 5);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+
+    #[test]
+    fn k_equals_one_and_n() {
+        let (vs, _) = blobs(2);
+        let one = spherical_kmeans(&vs, 1, 0);
+        assert_eq!(one.sizes(), vec![6]);
+        let all = spherical_kmeans(&vs, 6, 0);
+        assert_eq!(all.sizes(), vec![1; 6]);
+    }
+
+    #[test]
+    fn no_empty_clusters_ever() {
+        let (vs, _) = blobs(4);
+        for k in 1..=vs.len() {
+            let sol = spherical_kmeans(&vs, k, 3);
+            assert!(sol.sizes().iter().all(|&s| s > 0), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn identical_vectors_still_partition() {
+        let vs: Vec<SparseVector> = (0..5)
+            .map(|_| SparseVector::from_pairs([(0, 1.0)]))
+            .collect();
+        let sol = spherical_kmeans(&vs, 3, 7);
+        assert_eq!(sol.k(), 3);
+        assert!(sol.sizes().iter().all(|&s| s > 0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Sense-number prediction (Step III-a).
+//!
+//! "The prediction of the sense number of a term falls directly in
+//! clustering-based issues": cluster the term's contexts for every k in
+//! [2, 5], score each solution with an internal index, keep the optimum.
+
+use crate::indexes::InternalIndex;
+use crate::solution::ClusterSolution;
+use crate::Algorithm;
+use boe_corpus::SparseVector;
+
+/// Configuration for [`predict_k`].
+#[derive(Debug, Clone, Copy)]
+pub struct KPredictConfig {
+    /// Inclusive k range; the paper restricts to (2, 5) following the
+    /// UMLS polysemy statistics of Table 1.
+    pub k_range: (usize, usize),
+    /// Clustering method.
+    pub algorithm: Algorithm,
+    /// Scoring index.
+    pub index: InternalIndex,
+    /// Seed forwarded to the clustering method.
+    pub seed: u64,
+}
+
+impl Default for KPredictConfig {
+    fn default() -> Self {
+        KPredictConfig {
+            k_range: (2, 5),
+            algorithm: Algorithm::Direct,
+            index: InternalIndex::Fk,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a k sweep.
+#[derive(Debug, Clone)]
+pub struct KPrediction {
+    /// The chosen k.
+    pub k: usize,
+    /// `(k, score)` for every candidate (in ascending k).
+    pub scores: Vec<(usize, f64)>,
+    /// The winning solution.
+    pub solution: ClusterSolution,
+}
+
+/// Predict the number of senses of a term from its context vectors.
+/// Returns `None` when there are fewer than 2 contexts (no clustering
+/// signal; the caller treats the term as monosemous).
+pub fn predict_k(contexts: &[SparseVector], cfg: KPredictConfig) -> Option<KPrediction> {
+    let (lo, hi) = cfg.k_range;
+    assert!(lo >= 2 && lo <= hi, "invalid k range {lo}..={hi}");
+    if contexts.len() < 2 {
+        return None;
+    }
+    let hi = hi.min(contexts.len());
+    let lo = lo.min(hi);
+    let mut best: Option<(usize, f64, ClusterSolution)> = None;
+    let mut scores = Vec::with_capacity(hi - lo + 1);
+    for k in lo..=hi {
+        let sol = cfg.algorithm.cluster(contexts, k, cfg.seed ^ k as u64);
+        let unit: Vec<SparseVector> = contexts.iter().map(SparseVector::normalized).collect();
+        let s = cfg.index.score(&sol, &unit);
+        scores.push((k, s));
+        let better = match &best {
+            None => true,
+            Some((_, bs, _)) => {
+                if cfg.index.maximize() {
+                    s > *bs
+                } else {
+                    s < *bs
+                }
+            }
+        };
+        if better {
+            best = Some((k, s, sol));
+        }
+    }
+    let (k, _, solution) = best.expect("k range is nonempty");
+    Some(KPrediction {
+        k,
+        scores,
+        solution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `k` orthogonal context blobs of `per` vectors each.
+    fn blobs(per: usize, k: usize) -> Vec<SparseVector> {
+        let mut vs = Vec::new();
+        for c in 0..k as u32 {
+            for i in 0..per as u32 {
+                vs.push(SparseVector::from_pairs([
+                    (c * 1000, 10.0),
+                    (c * 1000 + 1 + i, 1.0),
+                ]));
+            }
+        }
+        vs
+    }
+
+    #[test]
+    fn ek_recovers_true_k() {
+        for true_k in 2..=5 {
+            let vs = blobs(12, true_k);
+            let pred = predict_k(
+                &vs,
+                KPredictConfig {
+                    index: InternalIndex::Ek,
+                    ..Default::default()
+                },
+            )
+            .expect("enough contexts");
+            assert_eq!(pred.k, true_k, "scores: {:?}", pred.scores);
+        }
+    }
+
+    #[test]
+    fn fk_recovers_two_sense_terms() {
+        let vs = blobs(12, 2);
+        let pred = predict_k(&vs, KPredictConfig::default()).expect("enough contexts");
+        assert_eq!(pred.k, 2, "scores: {:?}", pred.scores);
+    }
+
+    /// The literal Table-2 `f_k = a_k / log10(k)` is biased toward k = 2:
+    /// merging two of three equal orthogonal senses at most halves one
+    /// cluster's ISIM (a_2 ≥ 0.75·a_3) while the log penalty ratio
+    /// log10(3)/log10(2) ≈ 1.58 always outweighs it. This test pins that
+    /// behaviour — EXPERIMENTS.md discusses the consequence for the
+    /// paper's 93.1% claim.
+    #[test]
+    fn fk_is_biased_toward_two_on_balanced_senses() {
+        let vs = blobs(12, 3);
+        let pred = predict_k(&vs, KPredictConfig::default()).expect("enough contexts");
+        assert_eq!(pred.k, 2, "scores: {:?}", pred.scores);
+    }
+
+    #[test]
+    fn ek_recovers_true_k_across_algorithms() {
+        for alg in Algorithm::ALL {
+            let vs = blobs(10, 3);
+            let pred = predict_k(
+                &vs,
+                KPredictConfig {
+                    algorithm: alg,
+                    index: InternalIndex::Ek,
+                    ..Default::default()
+                },
+            )
+            .expect("enough contexts");
+            assert_eq!(pred.k, 3, "{alg}: {:?}", pred.scores);
+        }
+    }
+
+    #[test]
+    fn bk_minimization_direction() {
+        let vs = blobs(10, 2);
+        let pred = predict_k(
+            &vs,
+            KPredictConfig {
+                index: InternalIndex::Bk,
+                ..Default::default()
+            },
+        )
+        .expect("enough contexts");
+        // b_k is minimized; for orthogonal 2-blob data every k isolates
+        // the blobs so ESIM stays ~0 — prediction must still be valid.
+        assert!((2..=5).contains(&pred.k));
+    }
+
+    #[test]
+    fn too_few_contexts_returns_none() {
+        assert!(predict_k(&[], KPredictConfig::default()).is_none());
+        let one = vec![SparseVector::from_pairs([(0, 1.0)])];
+        assert!(predict_k(&one, KPredictConfig::default()).is_none());
+    }
+
+    #[test]
+    fn k_range_clamps_to_object_count() {
+        let vs = blobs(1, 3); // only 3 contexts
+        let pred = predict_k(&vs, KPredictConfig::default()).expect("3 contexts");
+        assert!(pred.k <= 3);
+        assert_eq!(pred.scores.len(), 2); // k ∈ {2, 3}
+    }
+
+    #[test]
+    fn scores_cover_requested_range() {
+        let vs = blobs(10, 2);
+        let pred = predict_k(&vs, KPredictConfig::default()).expect("enough");
+        let ks: Vec<usize> = pred.scores.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, vec![2, 3, 4, 5]);
+    }
+}

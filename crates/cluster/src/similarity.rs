@@ -1,0 +1,104 @@
+//! Similarity helpers over unit-normalized vectors.
+//!
+//! For unit vectors, cosine reduces to the dot product, and sums of
+//! pairwise similarities reduce to composite-vector norms:
+//! `Σ_{x,y ∈ S} x·y = ||Σ_{x∈S} x||²` — the identity CLUTO's criterion
+//! functions and ISIM/ESIM exploit. Every function here assumes unit
+//! inputs (the [`crate::Algorithm`] entry point normalizes once).
+
+use boe_corpus::SparseVector;
+
+/// Full pairwise cosine matrix (n×n, symmetric, diagonal = 1 for nonzero
+/// vectors).
+pub fn similarity_matrix(unit: &[SparseVector]) -> Vec<Vec<f64>> {
+    let n = unit.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = if unit[i].is_empty() { 0.0 } else { 1.0 };
+        for j in (i + 1)..n {
+            let s = unit[i].dot(&unit[j]);
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    m
+}
+
+/// Average pairwise similarity among all *ordered distinct* pairs in a
+/// set given its composite vector and size; 1.0 for singletons by
+/// convention (a single object is perfectly self-similar).
+pub fn avg_pairwise_from_composite(composite: &SparseVector, n: usize) -> f64 {
+    assert!(n >= 1, "empty cluster");
+    if n == 1 {
+        return 1.0;
+    }
+    let sq = composite.dot(composite);
+    // ||Σx||² = n (unit self-sims) + Σ_{i≠j} x_i·x_j.
+    ((sq - n as f64) / (n as f64 * (n as f64 - 1.0))).clamp(-1.0, 1.0)
+}
+
+/// The I2 criterion value of a partition: `Σ_k ||composite_k||`
+/// (what `direct`, `rb` and `rbr` maximize).
+pub fn i2(composites: &[SparseVector]) -> f64 {
+    composites.iter().map(SparseVector::norm).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied()).normalized()
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0), (1, 1.0)]), unit(&[(1, 1.0)])];
+        let m = similarity_matrix(&vs);
+        for (i, row) in m.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-12);
+            }
+        }
+        assert!(m[0][1] > 0.0 && m[0][2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn composite_identity_matches_direct_sum() {
+        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0), (1, 1.0)]), unit(&[(1, 1.0)])];
+        let composite = SparseVector::sum_of(&vs);
+        let avg = avg_pairwise_from_composite(&composite, 3);
+        // Direct computation.
+        let mut total = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    total += vs[i].dot(&vs[j]);
+                }
+            }
+        }
+        assert!((avg - total / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_avg_is_one() {
+        let v = unit(&[(0, 2.0)]);
+        assert_eq!(avg_pairwise_from_composite(&v, 1), 1.0);
+    }
+
+    #[test]
+    fn i2_of_tight_clusters_exceeds_split() {
+        let a = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0)])];
+        let b = vec![unit(&[(1, 1.0)]), unit(&[(1, 1.0)])];
+        let good = [
+            SparseVector::sum_of(&a),
+            SparseVector::sum_of(&b),
+        ];
+        let mixed = [
+            SparseVector::sum_of(&[a[0].clone(), b[0].clone()]),
+            SparseVector::sum_of(&[a[1].clone(), b[1].clone()]),
+        ];
+        assert!(i2(&good) > i2(&mixed));
+    }
+}

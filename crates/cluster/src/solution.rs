@@ -1,0 +1,145 @@
+//! Cluster solutions.
+
+use boe_corpus::SparseVector;
+
+/// A partition of `n` objects into `k` clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSolution {
+    assignments: Vec<usize>,
+    k: usize,
+}
+
+impl ClusterSolution {
+    /// Build from per-object cluster labels in `0..k`.
+    ///
+    /// # Panics
+    /// Panics if any label is ≥ `k`, or if some cluster in `0..k` is empty
+    /// (solutions produced by the algorithms in this crate never have
+    /// empty clusters).
+    pub fn new(assignments: Vec<usize>, k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        let mut seen = vec![false; k];
+        for &a in &assignments {
+            assert!(a < k, "label {a} out of range for k = {k}");
+            seen[a] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "empty cluster in solution with k = {k}"
+        );
+        ClusterSolution { assignments, k }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether there are no objects (never true for built solutions).
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Cluster label of object `i`.
+    pub fn assignment(&self, i: usize) -> usize {
+        self.assignments[i]
+    }
+
+    /// All labels.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Object indices of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Cluster sizes, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Composite (sum) vector per cluster.
+    pub fn composites(&self, vectors: &[SparseVector]) -> Vec<SparseVector> {
+        assert_eq!(vectors.len(), self.len(), "vector/assignment mismatch");
+        let mut comps = vec![SparseVector::new(); self.k];
+        for (v, &a) in vectors.iter().zip(&self.assignments) {
+            comps[a].add_assign(v);
+        }
+        comps
+    }
+
+    /// Unit-normalized centroid per cluster.
+    pub fn centroids(&self, vectors: &[SparseVector]) -> Vec<SparseVector> {
+        self.composites(vectors)
+            .into_iter()
+            .map(|c| c.normalized())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = ClusterSolution::new(vec![0, 1, 0, 1, 1], 2);
+        assert_eq!(s.k(), 2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.sizes(), vec![2, 3]);
+        assert_eq!(s.members(0), vec![0, 2]);
+        assert_eq!(s.assignment(4), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let _ = ClusterSolution::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_panics() {
+        let _ = ClusterSolution::new(vec![0, 0], 2);
+    }
+
+    #[test]
+    fn composites_and_centroids() {
+        let vs = vec![
+            SparseVector::from_pairs([(0, 1.0)]),
+            SparseVector::from_pairs([(0, 1.0)]),
+            SparseVector::from_pairs([(1, 2.0)]),
+        ];
+        let s = ClusterSolution::new(vec![0, 0, 1], 2);
+        let comps = s.composites(&vs);
+        assert_eq!(comps[0].get(0), 2.0);
+        assert_eq!(comps[1].get(1), 2.0);
+        let cents = s.centroids(&vs);
+        assert!((cents[0].norm() - 1.0).abs() < 1e-12);
+        assert!((cents[1].norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn composite_length_mismatch_panics() {
+        let s = ClusterSolution::new(vec![0], 1);
+        let _ = s.composites(&[]);
+    }
+}

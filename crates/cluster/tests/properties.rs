@@ -1,0 +1,91 @@
+//! Property tests for the clustering substrate.
+
+use boe_cluster::external::{adjusted_rand, nmi, purity};
+use boe_cluster::isim::ClusterStats;
+use boe_cluster::kpredict::{predict_k, KPredictConfig};
+use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
+use boe_corpus::SparseVector;
+use proptest::prelude::*;
+
+fn vectors_strategy() -> impl Strategy<Value = Vec<SparseVector>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0u32..24, 0.1f64..3.0), 1..6),
+        3..20,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(SparseVector::from_pairs)
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn every_algorithm_yields_a_valid_partition(vs in vectors_strategy(), k in 1usize..5, seed in 0u64..20) {
+        let k = k.min(vs.len());
+        for alg in Algorithm::ALL {
+            let sol = alg.cluster(&vs, k, seed);
+            prop_assert_eq!(sol.k(), k, "{}", alg);
+            prop_assert_eq!(sol.len(), vs.len());
+            prop_assert!(sol.sizes().iter().all(|&s| s > 0), "{}", alg);
+        }
+    }
+
+    #[test]
+    fn isim_esim_are_bounded(vs in vectors_strategy(), k in 1usize..4, seed in 0u64..10) {
+        let k = k.min(vs.len());
+        let unit: Vec<SparseVector> = vs.iter().map(SparseVector::normalized).collect();
+        let sol = Algorithm::Direct.cluster(&vs, k, seed);
+        let st = ClusterStats::compute(&sol, &unit);
+        for (&i, &e) in st.isim.iter().zip(&st.esim) {
+            prop_assert!((-1.0..=1.0).contains(&i), "ISIM {i}");
+            prop_assert!((-1.0..=1.0).contains(&e), "ESIM {e}");
+        }
+        prop_assert_eq!(st.k(), k);
+    }
+
+    #[test]
+    fn internal_indexes_are_finite(vs in vectors_strategy(), seed in 0u64..10) {
+        if vs.len() < 2 {
+            return Ok(());
+        }
+        let unit: Vec<SparseVector> = vs.iter().map(SparseVector::normalized).collect();
+        let sol = Algorithm::Rbr.cluster(&vs, 2, seed);
+        for index in InternalIndex::ALL {
+            let s = index.score(&sol, &unit);
+            prop_assert!(s.is_finite(), "{index}: {s}");
+        }
+    }
+
+    #[test]
+    fn predict_k_respects_the_range(vs in vectors_strategy(), seed in 0u64..10) {
+        let cfg = KPredictConfig {
+            seed,
+            ..Default::default()
+        };
+        if let Some(pred) = predict_k(&vs, cfg) {
+            prop_assert!((2..=5).contains(&pred.k));
+            prop_assert!(pred.k <= vs.len());
+            prop_assert!(!pred.scores.is_empty());
+        } else {
+            prop_assert!(vs.len() < 2);
+        }
+    }
+
+    #[test]
+    fn external_indexes_bounds_and_identity(labels in proptest::collection::vec(0usize..4, 2..24)) {
+        // Build a solution identical to gold (relabelled densely).
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let dense: Vec<usize> = labels
+            .iter()
+            .map(|&l| *map.entry(l).or_insert_with(|| { let v = next; next += 1; v }))
+            .collect();
+        let k = next.max(1);
+        let sol = ClusterSolution::new(dense.clone(), k);
+        prop_assert!((purity(&sol, &dense) - 1.0).abs() < 1e-12);
+        prop_assert!((adjusted_rand(&sol, &dense) - 1.0).abs() < 1e-12 || k == 1 || dense.len() < 2);
+        let n = nmi(&sol, &dense);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+}

@@ -1,0 +1,29 @@
+//! # boe-core
+//!
+//! The EDBT-2016 four-step biomedical ontology-enrichment workflow
+//! (Lossio-Ventura, Jonquet, Roche, Teisseire):
+//!
+//! | step | module | paper section |
+//! |------|--------|---------------|
+//! | I — Term Extraction (BIOTEX measures) | [`termex`] | §2(I) |
+//! | II — Polysemy Detection (23 features + ML) | [`polysemy`] | §2(II) |
+//! | III — Sense Induction (k-prediction + clustering) | [`senses`] | §2(III) |
+//! | IV — Semantic Linkage (cosine over contexts) | [`linkage`] | §2(IV) |
+//! | future work — relation typing via verb patterns | [`relation`] | §4 |
+//!
+//! [`pipeline`] chains the four steps into one [`pipeline::EnrichmentPipeline`]
+//! and [`report`] holds the result types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linkage;
+pub mod pipeline;
+pub mod polysemy;
+pub mod relation;
+pub mod report;
+pub mod senses;
+pub mod termex;
+
+pub use pipeline::{EnrichmentPipeline, PipelineConfig};
+pub use report::EnrichmentReport;

@@ -1,0 +1,236 @@
+//! The ontology-term inventory of a corpus: which ontology terms occur in
+//! the text, where, and with what aggregate context.
+
+use boe_corpus::context::{aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap};
+use boe_corpus::{Corpus, SparseVector};
+use boe_ontology::{ConceptId, Ontology};
+use boe_textkit::TokenId;
+use std::collections::HashMap;
+
+/// One ontology term that occurs in the corpus.
+#[derive(Debug, Clone)]
+pub struct LinkedTerm {
+    /// Surface form as written in the ontology/corpus (accents intact).
+    pub surface: String,
+    /// Normalized identity key ([`boe_textkit::normalize::match_key`]).
+    pub key: String,
+    /// Token-id sequence in the corpus.
+    pub tokens: Vec<TokenId>,
+    /// Concepts carrying this term.
+    pub concepts: Vec<ConceptId>,
+    /// Number of corpus occurrences.
+    pub freq: u32,
+    /// Aggregate (stemmed) context vector.
+    pub context: SparseVector,
+}
+
+/// Inventory of every ontology term present in the corpus.
+#[derive(Debug)]
+pub struct OntologyTermInventory {
+    terms: Vec<LinkedTerm>,
+    /// Sentence-presence sets: for each term, sorted `(doc, sentence)`
+    /// pairs where it occurs.
+    presence: Vec<Vec<(u32, u32)>>,
+    /// Normalized key → term index.
+    by_key: HashMap<String, usize>,
+}
+
+impl OntologyTermInventory {
+    /// Scan `corpus` for every term of `onto` (preferred + synonyms) and
+    /// precompute contexts. Terms with zero occurrences are skipped.
+    pub fn build(corpus: &Corpus, onto: &Ontology, stems: &StemMap) -> Self {
+        Self::build_with_extras(corpus, onto, stems, &[], ContextScope::Sentence)
+    }
+
+    /// Like [`Self::build`], additionally indexing `extras` — corpus terms
+    /// (typically Step-I candidates) that are *not* in the ontology but
+    /// may still be proposed as positions, as in the paper's Table 3
+    /// ("re-epithelialization", "wound"). Extras carry no concepts.
+    pub fn build_with_extras(
+        corpus: &Corpus,
+        onto: &Ontology,
+        stems: &StemMap,
+        extras: &[String],
+        scope: ContextScope,
+    ) -> Self {
+        let opts = ContextOptions {
+            window: None,
+            stemmed: true,
+            scope,
+        };
+        let mut terms = Vec::new();
+        let mut presence = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        // Collect (raw surface, key, concepts) triples, deduplicated by
+        // match key. Raw surfaces keep their accents — the corpus tokens
+        // do too, so the phrase lookup must use the raw form (the match
+        // key is accent-folded and would silently miss every accented
+        // French/Spanish term).
+        let mut surfaces: Vec<(String, String, Vec<ConceptId>)> = Vec::new();
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for concept in onto.concepts() {
+            for raw in concept.terms() {
+                let key = boe_textkit::normalize::match_key(raw);
+                if seen.insert(key.clone()) {
+                    surfaces.push((
+                        raw.to_owned(),
+                        key.clone(),
+                        onto.concepts_of_term(&key).to_vec(),
+                    ));
+                }
+            }
+        }
+        for extra in extras {
+            let key = boe_textkit::normalize::match_key(extra);
+            if seen.insert(key.clone()) {
+                surfaces.push((extra.clone(), key, Vec::new()));
+            }
+        }
+        surfaces.sort_by(|a, b| a.1.cmp(&b.1));
+        for (surface, key, concepts) in surfaces {
+            let Some(tokens) = corpus.phrase_ids(&surface) else {
+                continue;
+            };
+            let occs = find_occurrences(corpus, &tokens);
+            if occs.is_empty() {
+                continue;
+            }
+            let context = aggregate_context(corpus, &tokens, opts, Some(stems));
+            let mut pres: Vec<(u32, u32)> = occs
+                .iter()
+                .map(|o| (o.doc.0, o.sentence as u32))
+                .collect();
+            pres.sort_unstable();
+            pres.dedup();
+            by_key.insert(key.clone(), terms.len());
+            presence.push(pres);
+            terms.push(LinkedTerm {
+                surface,
+                key,
+                tokens,
+                concepts,
+                freq: occs.len() as u32,
+                context,
+            });
+        }
+        OntologyTermInventory {
+            terms,
+            presence,
+            by_key,
+        }
+    }
+
+    /// All linked terms.
+    pub fn terms(&self) -> &[LinkedTerm] {
+        &self.terms
+    }
+
+    /// Number of linked terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no ontology term occurs in the corpus.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Look up a linked term by surface (normalized internally).
+    pub fn get(&self, surface: &str) -> Option<&LinkedTerm> {
+        self.index_of(surface).map(|i| &self.terms[i])
+    }
+
+    /// Index of a linked term by surface (normalized internally).
+    pub fn index_of(&self, surface: &str) -> Option<usize> {
+        self.by_key
+            .get(&boe_textkit::normalize::match_key(surface))
+            .copied()
+    }
+
+    /// Indices of terms sharing at least one sentence with any of the
+    /// given `(doc, sentence)` pairs — the *co-occurrence neighbourhood*.
+    pub fn cooccurring(&self, sentences: &[(u32, u32)]) -> Vec<usize> {
+        let set: std::collections::HashSet<(u32, u32)> = sentences.iter().copied().collect();
+        (0..self.terms.len())
+            .filter(|&i| self.presence[i].iter().any(|p| set.contains(p)))
+            .collect()
+    }
+
+    /// Sentence-presence pairs of term `i`.
+    pub fn presence(&self, i: usize) -> &[(u32, u32)] {
+        &self.presence[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_ontology::OntologyBuilder;
+    use boe_textkit::Language;
+
+    fn world() -> (Corpus, Ontology) {
+        let mut ob = OntologyBuilder::new("t", Language::English);
+        let eye = ob.add_concept("eye diseases", vec![]);
+        let cd = ob.add_concept("corneal diseases", vec!["keratopathy".to_owned()]);
+        ob.add_is_a(cd, eye);
+        ob.add_concept("absent term", vec![]);
+        let onto = ob.build().expect("valid");
+        let mut cb = CorpusBuilder::new(Language::English);
+        cb.add_text("corneal diseases damage vision. eye diseases worsen.");
+        cb.add_text("keratopathy affects the cornea.");
+        (cb.build(), onto)
+    }
+
+    #[test]
+    fn finds_occurring_terms_only() {
+        let (c, o) = world();
+        let stems = StemMap::build(&c);
+        let inv = OntologyTermInventory::build(&c, &o, &stems);
+        assert!(inv.get("corneal diseases").is_some());
+        assert!(inv.get("keratopathy").is_some());
+        assert!(inv.get("eye diseases").is_some());
+        assert!(inv.get("absent term").is_none());
+        assert_eq!(inv.len(), 3);
+        assert!(!inv.is_empty());
+    }
+
+    #[test]
+    fn linked_terms_carry_concepts_and_contexts() {
+        let (c, o) = world();
+        let stems = StemMap::build(&c);
+        let inv = OntologyTermInventory::build(&c, &o, &stems);
+        let t = inv.get("keratopathy").expect("linked");
+        assert_eq!(t.concepts, o.concepts_of_term("keratopathy").to_vec());
+        assert_eq!(t.freq, 1);
+        assert!(!t.context.is_empty());
+    }
+
+    #[test]
+    fn cooccurrence_neighbourhood() {
+        let (c, o) = world();
+        let stems = StemMap::build(&c);
+        let inv = OntologyTermInventory::build(&c, &o, &stems);
+        // Sentence (0, 0) contains "corneal diseases" only; (0, 1)
+        // contains "eye diseases".
+        let nb = inv.cooccurring(&[(0, 0)]);
+        let surfaces: Vec<&str> = nb.iter().map(|&i| inv.terms()[i].surface.as_str()).collect();
+        assert_eq!(surfaces, vec!["corneal diseases"]);
+        assert!(inv.cooccurring(&[(9, 9)]).is_empty());
+    }
+
+    #[test]
+    fn presence_is_deduplicated() {
+        let mut ob = OntologyBuilder::new("t", Language::English);
+        ob.add_concept("cornea", vec![]);
+        let o = ob.build().expect("valid");
+        let mut cb = CorpusBuilder::new(Language::English);
+        cb.add_text("cornea meets cornea in one sentence.");
+        let c = cb.build();
+        let stems = StemMap::build(&c);
+        let inv = OntologyTermInventory::build(&c, &o, &stems);
+        let t = inv.get("cornea").expect("linked");
+        assert_eq!(t.freq, 2);
+        assert_eq!(inv.presence(0).len(), 1, "one sentence");
+    }
+}

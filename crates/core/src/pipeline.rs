@@ -1,0 +1,231 @@
+//! The four-step enrichment pipeline.
+//!
+//! Chains Steps I–IV over one corpus and one target ontology:
+//! candidate extraction → polysemy detection → sense induction →
+//! semantic linkage, producing an [`EnrichmentReport`].
+//!
+//! Step II needs a trained detector; the pipeline trains one on weak
+//! supervision derived from the *ontology itself* (terms the ontology
+//! marks polysemic vs a sample of monosemic terms found in the corpus) —
+//! exactly the supervision available to the paper's authors via UMLS.
+
+use crate::linkage::{LinkerConfig, SemanticLinker};
+use crate::polysemy::detector::{FeatureContext, PolysemyDetector, PolysemyModel};
+use crate::report::{EnrichmentReport, TermReport};
+use crate::senses::{SenseInducer, SenseInducerConfig};
+use crate::termex::candidates::CandidateOptions;
+use crate::termex::{TermExtractor, TermMeasure};
+use boe_corpus::Corpus;
+use boe_ontology::Ontology;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Step-I candidate extraction options.
+    pub candidates: CandidateOptions,
+    /// Step-I ranking measure.
+    pub measure: TermMeasure,
+    /// Number of top-ranked candidates carried into Steps II–IV.
+    pub top_terms: usize,
+    /// Step-II classifier family.
+    pub polysemy_model: PolysemyModel,
+    /// Step-III configuration.
+    pub senses: SenseInducerConfig,
+    /// Step-IV configuration.
+    pub linker: LinkerConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            candidates: CandidateOptions::default(),
+            measure: TermMeasure::LidfValue,
+            top_terms: 50,
+            polysemy_model: PolysemyModel::Forest,
+            senses: SenseInducerConfig::default(),
+            linker: LinkerConfig::default(),
+        }
+    }
+}
+
+/// The end-to-end enrichment pipeline.
+#[derive(Debug)]
+pub struct EnrichmentPipeline {
+    config: PipelineConfig,
+}
+
+impl EnrichmentPipeline {
+    /// A pipeline with `config`.
+    pub fn new(config: PipelineConfig) -> Self {
+        EnrichmentPipeline { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Run all four steps.
+    pub fn run(&self, corpus: &Corpus, ontology: &Ontology) -> EnrichmentReport {
+        // Step I: extract and rank candidates.
+        let extractor = TermExtractor::new(corpus, self.config.candidates);
+        let ranked = extractor.top(corpus, self.config.measure, self.config.top_terms);
+
+        // Candidates already in the ontology are training data for Step
+        // II, not enrichment targets.
+        let mut already_known = Vec::new();
+        let mut new_terms = Vec::new();
+        for r in ranked {
+            if ontology.contains_term(&r.surface) {
+                already_known.push(r.surface);
+            } else {
+                new_terms.push(r);
+            }
+        }
+
+        // Step II: train the detector on ontology-derived weak labels and
+        // classify the new candidates.
+        let features = FeatureContext::build(corpus);
+        let detector = self.train_detector(corpus, ontology, &features);
+
+        // Step III setup.
+        let inducer = SenseInducer::new(corpus, self.config.senses);
+        // Step IV setup.
+        let linker = SemanticLinker::new(corpus, ontology, self.config.linker);
+
+        let mut terms = Vec::with_capacity(new_terms.len());
+        for r in new_terms {
+            let Some(tokens) = corpus.phrase_ids(&r.surface) else {
+                continue;
+            };
+            let fv = features.features(&tokens, &r.surface);
+            let polysemic = match &detector {
+                Some(d) => d.is_polysemic(&fv),
+                None => false,
+            };
+            let senses = inducer.induce(&tokens, polysemic);
+            let propositions = linker.propose(&r.surface);
+            terms.push(TermReport {
+                surface: r.surface,
+                term_score: r.score,
+                polysemic,
+                senses,
+                propositions,
+            });
+        }
+        EnrichmentReport {
+            terms,
+            already_known,
+        }
+    }
+
+    /// Weak supervision for Step II: ontology terms found in the corpus,
+    /// labelled polysemic iff the ontology attaches them to ≥ 2 concepts.
+    /// Returns `None` when either class is missing (detector then
+    /// defaults to "monosemic", the majority prior).
+    fn train_detector(
+        &self,
+        corpus: &Corpus,
+        ontology: &Ontology,
+        features: &FeatureContext<'_>,
+    ) -> Option<PolysemyDetector> {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (surface, concepts) in ontology.terms() {
+            let Some(tokens) = corpus.phrase_ids(surface) else {
+                continue;
+            };
+            if boe_corpus::context::find_occurrences(corpus, &tokens).is_empty() {
+                continue;
+            }
+            rows.push(features.features(&tokens, surface));
+            labels.push(concepts.len() >= 2);
+        }
+        let pos = labels.iter().filter(|&&l| l).count();
+        if pos == 0 || pos == labels.len() || labels.len() < 4 {
+            return None;
+        }
+        Some(PolysemyDetector::train(
+            self.config.polysemy_model,
+            rows,
+            labels,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_ontology::OntologyBuilder;
+    use boe_textkit::Language;
+
+    /// A small aligned world: ontology with a polysemic term ("keratitis"
+    /// on two concepts), corpus where a new term "corneal injuries"
+    /// co-occurs with ontology terms.
+    fn world() -> (Corpus, Ontology) {
+        let mut ob = OntologyBuilder::new("t", Language::English);
+        let eye = ob.add_concept("eye diseases", vec![]);
+        let cd = ob.add_concept("corneal diseases", vec!["keratitis".to_owned()]);
+        let skin = ob.add_concept("skin inflammation", vec!["keratitis".to_owned()]);
+        ob.add_is_a(cd, eye);
+        let _ = skin;
+        let onto = ob.build().expect("valid");
+        let mut cb = CorpusBuilder::new(Language::English);
+        for _ in 0..3 {
+            cb.add_text(
+                "corneal injuries resemble corneal diseases of the epithelium stroma tissue.",
+            );
+            cb.add_text("keratitis damages the epithelium stroma tissue.");
+            cb.add_text("keratitis irritates the dermis follicle layer.");
+            cb.add_text("eye diseases involve the retina nerve.");
+            cb.add_text("corneal injuries heal in the epithelium stroma tissue.");
+        }
+        (cb.build(), onto)
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let (c, o) = world();
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        let report = pipeline.run(&c, &o);
+        assert!(!report.is_empty(), "no candidates analysed");
+        let ci = report.get("corneal injuries").expect("analysed");
+        assert!(ci.term_score > 0.0);
+        assert!(!ci.propositions.is_empty(), "linkage found nothing");
+        let proposed: Vec<&str> = ci.propositions.iter().map(|p| p.term.as_str()).collect();
+        assert!(proposed.contains(&"corneal diseases"), "{proposed:?}");
+    }
+
+    #[test]
+    fn known_terms_are_set_aside() {
+        let (c, o) = world();
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        let report = pipeline.run(&c, &o);
+        assert!(report
+            .already_known
+            .iter()
+            .any(|t| t == "corneal diseases" || t == "keratitis" || t == "eye diseases"));
+        assert!(report.get("keratitis").is_none());
+    }
+
+    #[test]
+    fn sense_counts_are_in_range() {
+        let (c, o) = world();
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        let report = pipeline.run(&c, &o);
+        for t in &report.terms {
+            assert!((1..=5).contains(&t.senses.k), "{}: k={}", t.surface, t.senses.k);
+        }
+    }
+
+    #[test]
+    fn report_displays() {
+        let (c, o) = world();
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        let report = pipeline.run(&c, &o);
+        let s = report.to_string();
+        assert!(s.contains("enrichment report"));
+        assert!(s.contains("corneal injuries"));
+    }
+}

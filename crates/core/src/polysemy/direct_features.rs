@@ -1,0 +1,221 @@
+//! The 11 direct (text-level) polysemy features.
+//!
+//! All are computed from the corpus alone. The discriminative intuition:
+//! a polysemic term occurs in *heterogeneous* contexts — high context
+//! diversity and entropy, low self-similarity between its occurrence
+//! contexts.
+
+use boe_corpus::context::{contexts, ContextOptions, ContextScope};
+use boe_corpus::index::InvertedIndex;
+use boe_corpus::stats::CoocCounts;
+use boe_corpus::{Corpus, SparseVector};
+use boe_textkit::TokenId;
+
+/// Names of the 11 direct features, index-aligned with
+/// [`direct_features`]'s output.
+pub const DIRECT_FEATURE_NAMES: [&str; 11] = [
+    "char_length",
+    "word_count",
+    "term_frequency",
+    "document_frequency",
+    "idf",
+    "neighbour_diversity",
+    "context_entropy",
+    "mean_context_self_similarity",
+    "context_similarity_variance",
+    "mean_sentence_length",
+    "burstiness",
+];
+
+/// Compute the 11 direct features of `phrase` over `corpus`.
+///
+/// `cooc` must be windowed co-occurrence counts of the same corpus (they
+/// are shared across terms, so the caller builds them once).
+pub fn direct_features(
+    corpus: &Corpus,
+    index: &InvertedIndex,
+    cooc: &CoocCounts,
+    phrase: &[TokenId],
+    surface: &str,
+) -> [f64; 11] {
+    let matches = index.phrase_matches(phrase);
+    let tf: u32 = matches.iter().map(|&(_, c)| c).sum();
+    let df = matches.len() as f64;
+    let n_docs = index.doc_count() as f64;
+    let idf = ((n_docs + 1.0) / (df + 1.0)).ln() + 1.0;
+
+    // Neighbour diversity & entropy from the head word's co-occurrences
+    // (for multi-word terms the head noun carries the sense signal; we
+    // pool over all component words).
+    let mut neighbour_counts: Vec<u32> = Vec::new();
+    for &t in phrase {
+        for (_, c) in cooc.neighbours(t) {
+            neighbour_counts.push(c);
+        }
+    }
+    let diversity = neighbour_counts.len() as f64;
+    let total: f64 = neighbour_counts.iter().map(|&c| f64::from(c)).sum();
+    let entropy = if total > 0.0 {
+        neighbour_counts
+            .iter()
+            .map(|&c| {
+                let p = f64::from(c) / total;
+                -p * p.ln()
+            })
+            .sum()
+    } else {
+        0.0
+    };
+
+    // Context self-similarity: mean and variance of cosine between each
+    // occurrence context and the aggregate context. Polysemic terms have
+    // a lower mean and a higher variance.
+    let opts = ContextOptions {
+        window: Some(6),
+        stemmed: false,
+        scope: ContextScope::Sentence,
+    };
+    let ctxs = contexts(corpus, phrase, opts, None);
+    let (mean_sim, var_sim) = context_self_similarity(&ctxs);
+
+    // Mean sentence length over occurrences.
+    let occs = boe_corpus::context::find_occurrences(corpus, phrase);
+    let mean_sent_len = if occs.is_empty() {
+        0.0
+    } else {
+        occs.iter()
+            .map(|o| corpus.doc(o.doc).sentences[o.sentence].len() as f64)
+            .sum::<f64>()
+            / occs.len() as f64
+    };
+
+    let burstiness = if df > 0.0 { f64::from(tf) / df } else { 0.0 };
+
+    [
+        surface.chars().count() as f64,
+        phrase.len() as f64,
+        f64::from(tf),
+        df,
+        idf,
+        diversity,
+        entropy,
+        mean_sim,
+        var_sim,
+        mean_sent_len,
+        burstiness,
+    ]
+}
+
+/// Mean and variance of cosine(context_i, centroid of the others).
+fn context_self_similarity(ctxs: &[SparseVector]) -> (f64, f64) {
+    if ctxs.len() < 2 {
+        return (1.0, 0.0);
+    }
+    let total = SparseVector::sum_of(ctxs);
+    let sims: Vec<f64> = ctxs
+        .iter()
+        .map(|c| {
+            let mut rest = total.clone();
+            let mut neg = c.clone();
+            neg.scale(-1.0);
+            rest.add_assign(&neg);
+            c.cosine(&rest)
+        })
+        .collect();
+    let n = sims.len() as f64;
+    let mean = sims.iter().sum::<f64>() / n;
+    let var = sims.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn setup(texts: &[&str]) -> (Corpus, InvertedIndex, CoocCounts) {
+        let mut b = CorpusBuilder::new(Language::English);
+        for t in texts {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let ix = InvertedIndex::build(&c);
+        let cc = CoocCounts::from_corpus(&c, 5);
+        (c, ix, cc)
+    }
+
+    fn features_of(c: &Corpus, ix: &InvertedIndex, cc: &CoocCounts, phrase: &str) -> [f64; 11] {
+        let ids = c.phrase_ids(phrase).expect("known phrase");
+        direct_features(c, ix, cc, &ids, phrase)
+    }
+
+    #[test]
+    fn basic_counts_are_right() {
+        let (c, ix, cc) = setup(&[
+            "corneal injuries heal.",
+            "corneal injuries persist. corneal injuries recur.",
+        ]);
+        let f = features_of(&c, &ix, &cc, "corneal injuries");
+        assert_eq!(f[0], "corneal injuries".chars().count() as f64);
+        assert_eq!(f[1], 2.0, "word count");
+        assert_eq!(f[2], 3.0, "tf");
+        assert_eq!(f[3], 2.0, "df");
+        assert!((f[10] - 1.5).abs() < 1e-12, "burstiness tf/df");
+    }
+
+    #[test]
+    fn monosemous_term_has_higher_context_similarity() {
+        // "monox" always appears with the same companions; "polyx" appears
+        // in two disjoint context families.
+        let (c, ix, cc) = setup(&[
+            "monox alpha beta gamma.",
+            "monox alpha beta delta.",
+            "monox alpha gamma delta.",
+            "polyx alpha beta gamma.",
+            "polyx omega sigma theta.",
+            "polyx omega sigma kappa.",
+        ]);
+        let f_mono = features_of(&c, &ix, &cc, "monox");
+        let f_poly = features_of(&c, &ix, &cc, "polyx");
+        assert!(
+            f_mono[7] > f_poly[7],
+            "mean self-sim: monox {} vs polyx {}",
+            f_mono[7],
+            f_poly[7]
+        );
+    }
+
+    #[test]
+    fn polysemic_term_has_more_diverse_neighbours() {
+        let (c, ix, cc) = setup(&[
+            "monox alpha beta.",
+            "monox alpha beta.",
+            "polyx alpha beta.",
+            "polyx omega sigma.",
+        ]);
+        let f_mono = features_of(&c, &ix, &cc, "monox");
+        let f_poly = features_of(&c, &ix, &cc, "polyx");
+        assert!(f_poly[5] > f_mono[5], "diversity");
+        assert!(f_poly[6] > f_mono[6], "entropy");
+    }
+
+    #[test]
+    fn unseen_phrase_yields_zeroish_features() {
+        let (c, ix, cc) = setup(&["alpha beta gamma."]);
+        let alpha = c.vocab().get("alpha").expect("id");
+        let gamma = c.vocab().get("gamma").expect("id");
+        // "alpha gamma" never occurs adjacently.
+        let f = direct_features(&c, &ix, &cc, &[alpha, gamma], "alpha gamma");
+        assert_eq!(f[2], 0.0);
+        assert_eq!(f[3], 0.0);
+        assert_eq!(f[9], 0.0, "no occurrences, no sentence length");
+    }
+
+    #[test]
+    fn all_features_finite() {
+        let (c, ix, cc) = setup(&["corneal injuries heal.", "corneal injuries persist."]);
+        let f = features_of(&c, &ix, &cc, "corneal injuries");
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+    }
+}

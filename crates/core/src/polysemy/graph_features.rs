@@ -1,0 +1,237 @@
+//! The 12 graph-based polysemy features.
+//!
+//! Computed from the word co-occurrence graph *induced from the corpus*
+//! (paper §2(II): "extracted ... from a graph itself induced from the
+//! text corpus"). The signal: a polysemic term's **ego network** splits
+//! into one weakly-interconnected region per sense, so ego density and
+//! clustering are low while the number of components/communities of the
+//! ego graph (minus the term itself) is high.
+
+use boe_corpus::stats::CoocCounts;
+use boe_corpus::Corpus;
+use boe_graph::builder::GraphBuilder;
+use boe_graph::community::{community_count, label_propagation, modularity};
+use boe_graph::components::connected_components;
+use boe_graph::kcore::core_numbers;
+use boe_graph::metrics::{average_clustering, density, local_clustering};
+use boe_graph::pagerank::{pagerank, PageRankParams};
+use boe_graph::{Graph, NodeId};
+use boe_textkit::TokenId;
+
+/// Names of the 12 graph features, index-aligned with [`graph_features`].
+pub const GRAPH_FEATURE_NAMES: [&str; 12] = [
+    "degree",
+    "weighted_degree",
+    "local_clustering",
+    "ego_density",
+    "ego_components",
+    "ego_communities",
+    "ego_modularity",
+    "ego_average_clustering",
+    "pagerank",
+    "core_number",
+    "mean_neighbour_degree",
+    "two_hop_expansion",
+];
+
+/// The corpus-wide induced word graph plus cached global analyses,
+/// shared across all terms being classified.
+#[derive(Debug)]
+pub struct TermGraphContext {
+    graph: Graph,
+    node_of: std::collections::HashMap<TokenId, NodeId>,
+    pagerank: Vec<f64>,
+    cores: Vec<u32>,
+}
+
+impl TermGraphContext {
+    /// Build the induced graph from windowed co-occurrence counts,
+    /// keeping pairs with count ≥ `min_cooc`.
+    pub fn build(corpus: &Corpus, cooc: &CoocCounts, min_cooc: u32) -> Self {
+        let _ = corpus; // the corpus fixes the vocabulary the counts use
+        let mut b = GraphBuilder::new();
+        for ((a, bb), c) in cooc.iter_pairs() {
+            if c >= min_cooc {
+                b.add_edge(u64::from(a.0), u64::from(bb.0), f64::from(c));
+            }
+        }
+        let (graph, keys) = b.build();
+        let node_of = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (TokenId(k as u32), NodeId(i as u32)))
+            .collect();
+        let pr = pagerank(&graph, PageRankParams::default());
+        let cores = core_numbers(&graph);
+        TermGraphContext {
+            graph,
+            node_of,
+            pagerank: pr,
+            cores,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Node of a token, if it survived the co-occurrence threshold.
+    pub fn node(&self, t: TokenId) -> Option<NodeId> {
+        self.node_of.get(&t).copied()
+    }
+}
+
+/// Compute the 12 graph features of `phrase` (multi-word terms use the
+/// component word with the highest degree — the lexical head dominates
+/// the co-occurrence signal). Terms absent from the graph get all-zero
+/// features.
+pub fn graph_features(ctx: &TermGraphContext, phrase: &[TokenId]) -> [f64; 12] {
+    // Representative node: component word with the highest degree.
+    let node = phrase
+        .iter()
+        .filter_map(|&t| ctx.node(t))
+        .max_by_key(|&n| ctx.graph.degree(n));
+    let Some(v) = node else {
+        return [0.0; 12];
+    };
+    let g = &ctx.graph;
+    let degree = g.degree(v) as f64;
+    let wdegree = g.weighted_degree(v);
+    let lcc = local_clustering(g, v);
+
+    // Ego network minus the center: the sense-split signal.
+    let ego_nodes: Vec<NodeId> = g.neighbours(v).iter().map(|&(u, _)| u).collect();
+    let (ego, _) = g.induced_subgraph(&ego_nodes);
+    let ego_density = density(&ego);
+    let comps = connected_components(&ego);
+    let labels = label_propagation(&ego, 20);
+    let n_comm = community_count(&labels) as f64;
+    let q = modularity(&ego, &labels);
+    let ego_avg_cc = average_clustering(&ego);
+
+    let pr = ctx.pagerank[v.index()];
+    let core = f64::from(ctx.cores[v.index()]);
+    let mean_nb_deg = if ego_nodes.is_empty() {
+        0.0
+    } else {
+        ego_nodes.iter().map(|&u| g.degree(u) as f64).sum::<f64>() / ego_nodes.len() as f64
+    };
+    // Two-hop expansion: |N2(v)| / |N1(v)| — polysemic hubs reach more.
+    let two_hop = {
+        let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        for &u in &ego_nodes {
+            for &(w, _) in g.neighbours(u) {
+                if w != v && !ego_nodes.contains(&w) {
+                    seen.insert(w);
+                }
+            }
+        }
+        if ego_nodes.is_empty() {
+            0.0
+        } else {
+            seen.len() as f64 / ego_nodes.len() as f64
+        }
+    };
+
+    [
+        degree,
+        wdegree,
+        lcc,
+        ego_density,
+        comps.count as f64,
+        n_comm,
+        q,
+        ego_avg_cc,
+        pr,
+        core,
+        mean_nb_deg,
+        two_hop,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn setup(texts: &[&str]) -> (Corpus, TermGraphContext) {
+        let mut b = CorpusBuilder::new(Language::English);
+        for t in texts {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let cc = CoocCounts::from_corpus(&c, 5);
+        let ctx = TermGraphContext::build(&c, &cc, 1);
+        (c, ctx)
+    }
+
+    #[test]
+    fn polysemic_ego_network_fragments() {
+        // "polyx" bridges two families that never co-occur directly;
+        // "monox" sits in one triangle.
+        let (c, ctx) = setup(&[
+            "monox alpha beta.",
+            "monox alpha beta.",
+            "polyx gamma delta.",
+            "polyx omega sigma.",
+        ]);
+        let polyx = c.vocab().get("polyx").expect("id");
+        let monox = c.vocab().get("monox").expect("id");
+        let f_poly = graph_features(&ctx, &[polyx]);
+        let f_mono = graph_features(&ctx, &[monox]);
+        // Ego components: polyx's ego (gamma-delta, omega-sigma) has 2;
+        // monox's (alpha-beta) has 1.
+        assert_eq!(f_poly[4], 2.0, "{f_poly:?}");
+        assert_eq!(f_mono[4], 1.0, "{f_mono:?}");
+        assert!(f_poly[5] >= f_mono[5], "communities");
+        assert!(f_poly[0] > f_mono[0], "degree");
+    }
+
+    #[test]
+    fn clustering_detects_tight_neighbourhood() {
+        let (c, ctx) = setup(&["monox alpha beta.", "monox alpha beta.", "alpha beta gamma."]);
+        let monox = c.vocab().get("monox").expect("id");
+        let f = graph_features(&ctx, &[monox]);
+        // alpha and beta are connected ⇒ local clustering 1.0.
+        assert!((f[2] - 1.0).abs() < 1e-12, "{f:?}");
+    }
+
+    #[test]
+    fn absent_term_gets_zero_features() {
+        let (c, ctx) = setup(&["alpha beta gamma."]);
+        // A token that was filtered (stopword) or unseen has no node.
+        let unseen = TokenId(9999);
+        let f = graph_features(&ctx, &[unseen]);
+        assert_eq!(f, [0.0; 12]);
+        let _ = c;
+    }
+
+    #[test]
+    fn multiword_uses_highest_degree_component() {
+        let (c, ctx) = setup(&[
+            "corneal injuries epithelium damage.",
+            "corneal injuries membrane repair.",
+            "corneal scarring tissue healing.",
+        ]);
+        let phrase = c.phrase_ids("corneal injuries").expect("known");
+        let f = graph_features(&ctx, &phrase);
+        let corneal = c.vocab().get("corneal").expect("id");
+        let f_head = graph_features(&ctx, &[corneal]);
+        // "corneal" has the larger neighbourhood; the phrase should
+        // inherit its features.
+        assert_eq!(f[0], f_head[0]);
+    }
+
+    #[test]
+    fn all_features_finite() {
+        let (c, ctx) = setup(&[
+            "corneal injuries epithelium damage.",
+            "corneal injuries membrane repair.",
+        ]);
+        let phrase = c.phrase_ids("corneal injuries").expect("known");
+        let f = graph_features(&ctx, &phrase);
+        assert!(f.iter().all(|v| v.is_finite()), "{f:?}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Step II — Polysemy Detection.
+//!
+//! Predicts whether a candidate term is polysemic from **23 features**:
+//! 11 *direct* features computed from the texts and 12 computed from the
+//! *induced co-occurrence graph* (paper §2(II); the paper reports a 98%
+//! F-measure for this classification).
+
+pub mod detector;
+pub mod direct_features;
+pub mod graph_features;
+
+pub use detector::{PolysemyDetector, PolysemyModel};
+pub use direct_features::{direct_features, DIRECT_FEATURE_NAMES};
+pub use graph_features::{graph_features, TermGraphContext, GRAPH_FEATURE_NAMES};
+
+/// Total feature count (11 direct + 12 graph = the paper's 23).
+pub const N_FEATURES: usize = DIRECT_FEATURE_NAMES.len() + GRAPH_FEATURE_NAMES.len();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_budget_matches_paper() {
+        assert_eq!(DIRECT_FEATURE_NAMES.len(), 11);
+        assert_eq!(GRAPH_FEATURE_NAMES.len(), 12);
+        assert_eq!(N_FEATURES, 23);
+    }
+}

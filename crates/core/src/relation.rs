@@ -1,0 +1,209 @@
+//! Relation-type extraction (the paper's future work, §4).
+//!
+//! "A perspective of this work is to extract the type of relations. This
+//! could be performed with the linguistic patterns (e.g. the verbs used
+//! between two terms) and the associated contexts." — implemented here:
+//! for a pair of terms, collect the verbs occurring *between* their
+//! mentions in shared sentences and map them onto a coarse relation
+//! typology through a verb lexicon.
+
+use boe_corpus::context::find_occurrences;
+use boe_corpus::Corpus;
+use boe_textkit::pos::PosTag;
+use boe_textkit::TokenId;
+use std::collections::HashMap;
+
+/// Coarse biomedical relation types derivable from linking verbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelationType {
+    /// X causes / induces Y.
+    Causal,
+    /// X treats / heals Y.
+    Treatment,
+    /// X is-a / is a kind of Y.
+    Taxonomic,
+    /// X is associated with / involves Y.
+    Association,
+    /// Verbs seen but none mapped.
+    Unknown,
+}
+
+impl RelationType {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RelationType::Causal => "causal",
+            RelationType::Treatment => "treatment",
+            RelationType::Taxonomic => "taxonomic",
+            RelationType::Association => "association",
+            RelationType::Unknown => "unknown",
+        }
+    }
+}
+
+/// Verb → relation lexicon (English; the synthetic generators emit these
+/// verbs).
+fn verb_relation(verb: &str) -> Option<RelationType> {
+    Some(match verb {
+        "causes" | "cause" | "caused" | "induces" | "induce" | "induced" | "provokes" => {
+            RelationType::Causal
+        }
+        "treats" | "treat" | "treated" | "heals" | "heal" | "healed" | "cures" => {
+            RelationType::Treatment
+        }
+        "is" | "are" | "was" | "were" | "remains" => RelationType::Taxonomic,
+        "involves" | "involve" | "involved" | "affects" | "affect" | "affected"
+        | "suggests" | "suggest" | "indicates" | "indicate" | "shows" | "show" | "showed"
+        | "reveals" | "requires" | "require" | "required" => RelationType::Association,
+        _ => return None,
+    })
+}
+
+/// Evidence for one typed relation between two terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationEvidence {
+    /// The inferred type.
+    pub relation: RelationType,
+    /// Supporting verb counts, sorted by decreasing count.
+    pub verbs: Vec<(String, u32)>,
+    /// Number of shared sentences examined.
+    pub sentences: u32,
+}
+
+/// Extract the relation type between `a` and `b` from the verbs found
+/// between their mentions in shared sentences. `None` when the two terms
+/// never share a sentence.
+pub fn extract_relation(
+    corpus: &Corpus,
+    a: &[TokenId],
+    b: &[TokenId],
+) -> Option<RelationEvidence> {
+    let occ_a = find_occurrences(corpus, a);
+    let occ_b = find_occurrences(corpus, b);
+    // Index b's occurrences by (doc, sentence).
+    let mut b_by_sentence: HashMap<(u32, usize), Vec<usize>> = HashMap::new();
+    for o in &occ_b {
+        b_by_sentence
+            .entry((o.doc.0, o.sentence))
+            .or_default()
+            .push(o.start);
+    }
+    let mut verb_counts: HashMap<String, u32> = HashMap::new();
+    let mut shared = 0u32;
+    for oa in &occ_a {
+        let Some(b_starts) = b_by_sentence.get(&(oa.doc.0, oa.sentence)) else {
+            continue;
+        };
+        let sentence = &corpus.doc(oa.doc).sentences[oa.sentence];
+        for &bs in b_starts {
+            shared += 1;
+            // The token span strictly between the two mentions.
+            let (lo, hi) = if oa.start < bs {
+                (oa.start + a.len(), bs)
+            } else {
+                (bs + b.len(), oa.start)
+            };
+            if lo >= hi {
+                continue;
+            }
+            for i in lo..hi {
+                if sentence.tags[i] == PosTag::Verb {
+                    let verb = corpus.text(sentence.tokens[i]).to_owned();
+                    *verb_counts.entry(verb).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    if shared == 0 {
+        return None;
+    }
+    // Vote per relation type.
+    let mut votes: HashMap<RelationType, u32> = HashMap::new();
+    for (verb, count) in &verb_counts {
+        if let Some(r) = verb_relation(verb) {
+            *votes.entry(r).or_insert(0) += count;
+        }
+    }
+    let relation = votes
+        .into_iter()
+        .max_by_key(|&(r, c)| (c, std::cmp::Reverse(r)))
+        .map(|(r, _)| r)
+        .unwrap_or(RelationType::Unknown);
+    let mut verbs: Vec<(String, u32)> = verb_counts.into_iter().collect();
+    verbs.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    Some(RelationEvidence {
+        relation,
+        verbs,
+        sentences: shared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn corpus(texts: &[&str]) -> Corpus {
+        let mut b = CorpusBuilder::new(Language::English);
+        for t in texts {
+            b.add_text(t);
+        }
+        b.build()
+    }
+
+    fn relation_of(c: &Corpus, a: &str, b: &str) -> Option<RelationEvidence> {
+        let ta = c.phrase_ids(a).expect("a known");
+        let tb = c.phrase_ids(b).expect("b known");
+        extract_relation(c, &ta, &tb)
+    }
+
+    #[test]
+    fn causal_verbs_are_detected() {
+        let c = corpus(&[
+            "chemical burns cause corneal injuries.",
+            "chemical burns caused corneal injuries.",
+        ]);
+        let ev = relation_of(&c, "chemical burns", "corneal injuries").expect("shared");
+        assert_eq!(ev.relation, RelationType::Causal);
+        assert_eq!(ev.sentences, 2);
+        assert_eq!(ev.verbs[0].0, "cause");
+    }
+
+    #[test]
+    fn treatment_verbs_are_detected() {
+        let c = corpus(&["amniotic membrane treats corneal injuries."]);
+        let ev = relation_of(&c, "amniotic membrane", "corneal injuries").expect("shared");
+        assert_eq!(ev.relation, RelationType::Treatment);
+    }
+
+    #[test]
+    fn taxonomic_copula() {
+        let c = corpus(&["ulcerative keratitis is corneal ulcer."]);
+        let ev = relation_of(&c, "ulcerative keratitis", "corneal ulcer").expect("shared");
+        assert_eq!(ev.relation, RelationType::Taxonomic);
+    }
+
+    #[test]
+    fn direction_does_not_matter_for_extraction() {
+        let c = corpus(&["chemical burns cause corneal injuries."]);
+        let forward = relation_of(&c, "chemical burns", "corneal injuries").expect("shared");
+        let backward = relation_of(&c, "corneal injuries", "chemical burns").expect("shared");
+        assert_eq!(forward.relation, backward.relation);
+    }
+
+    #[test]
+    fn disjoint_terms_yield_none() {
+        let c = corpus(&["cornea heals. retina detaches."]);
+        assert!(relation_of(&c, "cornea", "retina").is_none());
+    }
+
+    #[test]
+    fn unmapped_verbs_give_unknown() {
+        let c = corpus(&["cornea zigzags retina."]);
+        // "zigzags" is not in the lexicon and is tagged noun/other anyway;
+        // shared sentence with no mapped verb → Unknown.
+        let ev = relation_of(&c, "cornea", "retina").expect("shared");
+        assert_eq!(ev.relation, RelationType::Unknown);
+    }
+}

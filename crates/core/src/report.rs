@@ -1,0 +1,109 @@
+//! Result types of a full pipeline run.
+
+use crate::linkage::Proposition;
+use crate::senses::InducedSenses;
+use std::fmt;
+
+/// Everything the workflow derived about one candidate term.
+#[derive(Debug, Clone)]
+pub struct TermReport {
+    /// The candidate surface form.
+    pub surface: String,
+    /// Step-I score under the pipeline's measure.
+    pub term_score: f64,
+    /// Step-II verdict.
+    pub polysemic: bool,
+    /// Step-III result.
+    pub senses: InducedSenses,
+    /// Step-IV propositions (may be empty when the term has no ontology
+    /// neighbourhood).
+    pub propositions: Vec<Proposition>,
+}
+
+/// The full enrichment report for one corpus + ontology.
+#[derive(Debug, Clone, Default)]
+pub struct EnrichmentReport {
+    /// Per-candidate reports, in ranking order.
+    pub terms: Vec<TermReport>,
+    /// Candidates skipped because they already appear in the ontology.
+    pub already_known: Vec<String>,
+}
+
+impl EnrichmentReport {
+    /// Number of analysed candidates.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no candidate was analysed.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The report of a term, by surface.
+    pub fn get(&self, surface: &str) -> Option<&TermReport> {
+        self.terms.iter().find(|t| t.surface == surface)
+    }
+}
+
+impl fmt::Display for EnrichmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "enrichment report: {} candidates analysed, {} already known",
+            self.terms.len(),
+            self.already_known.len()
+        )?;
+        for t in &self.terms {
+            writeln!(
+                f,
+                "  {:<30} score {:>8.3}  {}  k={}  {} propositions",
+                t.surface,
+                t.term_score,
+                if t.polysemic { "polysemic " } else { "monosemic " },
+                t.senses.k,
+                t.propositions.len()
+            )?;
+            for (i, p) in t.propositions.iter().enumerate().take(3) {
+                writeln!(f, "    {}. {} (cos {:.4}, {})", i + 1, p.term, p.cosine, p.origin.name())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report() {
+        let r = EnrichmentReport::default();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(r.get("x").is_none());
+        assert!(r.to_string().contains("0 candidates"));
+    }
+
+    #[test]
+    fn display_lists_terms() {
+        let r = EnrichmentReport {
+            terms: vec![TermReport {
+                surface: "corneal injuries".into(),
+                term_score: 3.2,
+                polysemic: false,
+                senses: InducedSenses {
+                    k: 1,
+                    concepts: vec![],
+                    assignments: vec![],
+                },
+                propositions: vec![],
+            }],
+            already_known: vec!["cornea".into()],
+        };
+        let s = r.to_string();
+        assert!(s.contains("corneal injuries"));
+        assert!(s.contains("1 already known"));
+        assert!(r.get("corneal injuries").is_some());
+    }
+}

@@ -1,0 +1,240 @@
+//! Sense induction: k-prediction + clustering + concept labelling.
+
+use crate::senses::representation::{build_representation, Representation};
+use boe_cluster::features::{induce_concepts, InducedConcept};
+use boe_cluster::kpredict::{predict_k, KPredictConfig};
+use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
+use boe_corpus::context::{ContextScope, StemMap};
+use boe_corpus::{Corpus, SparseVector};
+use boe_textkit::TokenId;
+
+/// Configuration of the sense inducer.
+#[derive(Debug, Clone, Copy)]
+pub struct SenseInducerConfig {
+    /// Context representation.
+    pub representation: Representation,
+    /// Context reach (use `Document` when each document is one
+    /// citation-style context, as in MSH WSD).
+    pub scope: ContextScope,
+    /// Clustering method.
+    pub algorithm: Algorithm,
+    /// Internal index for k-prediction.
+    pub index: InternalIndex,
+    /// Inclusive k range (the paper fixes (2, 5) per Table 1).
+    pub k_range: (usize, usize),
+    /// Features kept per induced concept.
+    pub top_features: usize,
+    /// Clustering seed.
+    pub seed: u64,
+}
+
+impl Default for SenseInducerConfig {
+    fn default() -> Self {
+        SenseInducerConfig {
+            representation: Representation::BagOfWords,
+            scope: ContextScope::Sentence,
+            algorithm: Algorithm::Direct,
+            index: InternalIndex::Ek,
+            k_range: (2, 5),
+            top_features: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// The induced senses of one term.
+#[derive(Debug, Clone)]
+pub struct InducedSenses {
+    /// Number of senses (1 for monosemous terms).
+    pub k: usize,
+    /// One induced concept per sense.
+    pub concepts: Vec<InducedConcept>,
+    /// The cluster assignment of each occurrence context (empty when the
+    /// term had no contexts).
+    pub assignments: Vec<usize>,
+}
+
+/// Step-III sense inducer bound to one corpus.
+#[derive(Debug)]
+pub struct SenseInducer<'c> {
+    corpus: &'c Corpus,
+    stems: StemMap,
+    config: SenseInducerConfig,
+}
+
+impl<'c> SenseInducer<'c> {
+    /// Build for `corpus` under `config`.
+    pub fn new(corpus: &'c Corpus, config: SenseInducerConfig) -> Self {
+        SenseInducer {
+            corpus,
+            stems: StemMap::build(corpus),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SenseInducerConfig {
+        self.config
+    }
+
+    /// The per-occurrence context vectors of a term under the configured
+    /// representation.
+    pub fn contexts(&self, phrase: &[TokenId]) -> Vec<SparseVector> {
+        build_representation(self.corpus, phrase, self.config.representation, &self.stems, self.config.scope)
+    }
+
+    /// Predict only the number of senses of a (polysemic) term.
+    /// `None` when the term has fewer than 2 contexts.
+    pub fn predict_sense_count(&self, phrase: &[TokenId]) -> Option<usize> {
+        let ctxs = self.contexts(phrase);
+        predict_k(
+            &ctxs,
+            KPredictConfig {
+                k_range: self.config.k_range,
+                algorithm: self.config.algorithm,
+                index: self.config.index,
+                seed: self.config.seed,
+            },
+        )
+        .map(|p| p.k)
+    }
+
+    /// Induce the senses of a term. `is_polysemic` comes from Step II;
+    /// monosemous terms get k = 1 ("note that k = 1 when the candidate
+    /// term is not polysemic").
+    pub fn induce(&self, phrase: &[TokenId], is_polysemic: bool) -> InducedSenses {
+        let ctxs = self.contexts(phrase);
+        if ctxs.is_empty() {
+            return InducedSenses {
+                k: 1,
+                concepts: Vec::new(),
+                assignments: Vec::new(),
+            };
+        }
+        let solution: ClusterSolution = if !is_polysemic || ctxs.len() < 2 {
+            ClusterSolution::new(vec![0; ctxs.len()], 1)
+        } else {
+            let pred = predict_k(
+                &ctxs,
+                KPredictConfig {
+                    k_range: self.config.k_range,
+                    algorithm: self.config.algorithm,
+                    index: self.config.index,
+                    seed: self.config.seed,
+                },
+            )
+            .expect("ctxs.len() >= 2");
+            pred.solution
+        };
+        let concepts = induce_concepts(&solution, &ctxs, self.config.top_features);
+        InducedSenses {
+            k: solution.k(),
+            concepts,
+            assignments: solution.assignments().to_vec(),
+        }
+    }
+
+    /// Resolve a bag-of-words feature dimension back to its stem string
+    /// (graph-representation dimensions are hashed pairs and cannot be
+    /// resolved).
+    pub fn feature_label(&self, dim: u32) -> Option<&str> {
+        match self.config.representation {
+            Representation::BagOfWords => self
+                .stems
+                .stems()
+                .try_text(boe_textkit::TokenId(dim)),
+            Representation::Graph => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    /// Corpus with a 2-sense term and a 1-sense term.
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new(Language::English);
+        for _ in 0..10 {
+            b.add_text("poly alpha beta gamma.");
+            b.add_text("poly omega sigma theta.");
+            b.add_text("mono alpha beta gamma.");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn polysemic_term_gets_two_senses() {
+        let c = corpus();
+        let inducer = SenseInducer::new(&c, SenseInducerConfig::default());
+        let ids = c.phrase_ids("poly").expect("known");
+        let senses = inducer.induce(&ids, true);
+        assert_eq!(senses.k, 2, "induced {} senses", senses.k);
+        assert_eq!(senses.concepts.len(), 2);
+        assert_eq!(senses.assignments.len(), 20);
+    }
+
+    #[test]
+    fn monosemous_term_gets_one_sense() {
+        let c = corpus();
+        let inducer = SenseInducer::new(&c, SenseInducerConfig::default());
+        let ids = c.phrase_ids("mono").expect("known");
+        let senses = inducer.induce(&ids, false);
+        assert_eq!(senses.k, 1);
+        assert_eq!(senses.concepts.len(), 1);
+    }
+
+    #[test]
+    fn induced_concepts_have_interpretable_features() {
+        let c = corpus();
+        let inducer = SenseInducer::new(&c, SenseInducerConfig::default());
+        let ids = c.phrase_ids("poly").expect("known");
+        let senses = inducer.induce(&ids, true);
+        let mut labels: Vec<String> = Vec::new();
+        for concept in &senses.concepts {
+            for &(dim, _) in &concept.features {
+                if let Some(l) = inducer.feature_label(dim) {
+                    labels.push(l.to_owned());
+                }
+            }
+        }
+        assert!(labels.iter().any(|l| l == "alpha" || l == "omega"), "{labels:?}");
+    }
+
+    #[test]
+    fn sense_count_prediction_matches_structure() {
+        let c = corpus();
+        let inducer = SenseInducer::new(&c, SenseInducerConfig::default());
+        let ids = c.phrase_ids("poly").expect("known");
+        assert_eq!(inducer.predict_sense_count(&ids), Some(2));
+    }
+
+    #[test]
+    fn term_without_contexts_defaults_to_one_sense() {
+        let c = corpus();
+        let inducer = SenseInducer::new(&c, SenseInducerConfig::default());
+        // "alpha beta" never matched as phrase start? It does occur...
+        // use a non-adjacent pair instead.
+        let a = c.vocab().get("alpha").expect("id");
+        let t = c.vocab().get("theta").expect("id");
+        let senses = inducer.induce(&[a, t], true);
+        assert_eq!(senses.k, 1);
+        assert!(senses.concepts.is_empty());
+    }
+
+    #[test]
+    fn graph_representation_also_separates() {
+        let c = corpus();
+        let cfg = SenseInducerConfig {
+            representation: Representation::Graph,
+            ..Default::default()
+        };
+        let inducer = SenseInducer::new(&c, cfg);
+        let ids = c.phrase_ids("poly").expect("known");
+        let senses = inducer.induce(&ids, true);
+        assert_eq!(senses.k, 2);
+        assert!(inducer.feature_label(0).is_none(), "graph dims unresolvable");
+    }
+}

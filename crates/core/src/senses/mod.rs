@@ -1,0 +1,13 @@
+//! Step III — Term Sense Induction.
+//!
+//! For each candidate term: (a) predict its number of senses k — k = 1
+//! when Step II said monosemous, else a clustering sweep over k ∈ \[2, 5\]
+//! scored by an internal index; (b) cluster the term's contexts into k
+//! groups and label each with its most important features — the induced
+//! concepts.
+
+pub mod induction;
+pub mod representation;
+
+pub use induction::{InducedSenses, SenseInducer, SenseInducerConfig};
+pub use representation::{build_representation, Representation};

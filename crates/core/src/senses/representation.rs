@@ -1,0 +1,173 @@
+//! Context representations for sense induction.
+//!
+//! The paper represents the corpus "of two different manners: (i)
+//! bag-of-words representation, and (ii) graph representation". Both map
+//! each occurrence context of a term to a sparse vector:
+//!
+//! * **Bag-of-words** — dimensions are the (stemmed) context words;
+//! * **Graph** — dimensions are the *co-occurrence edges* among the
+//!   context's words: occurrence contexts vote for the word *pairs* they
+//!   activate in the induced graph, which sharpens sense separation when
+//!   single words are shared between senses but their combinations are
+//!   not.
+
+use boe_corpus::context::{find_occurrences, ContextOptions, ContextScope, StemMap};
+use boe_corpus::{Corpus, SparseVector};
+use boe_textkit::TokenId;
+
+/// The two context representations of §2(III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Bag of (stemmed) context words.
+    BagOfWords,
+    /// Bag of context word *pairs* (edges of the induced graph).
+    Graph,
+}
+
+impl Representation {
+    /// Both representations in the paper's order.
+    pub const ALL: [Representation; 2] = [Representation::BagOfWords, Representation::Graph];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::BagOfWords => "bag-of-words",
+            Representation::Graph => "graph",
+        }
+    }
+}
+
+impl std::fmt::Display for Representation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable dimension id for an unordered word pair (graph representation).
+/// Uses an order-independent 32-bit mix of the two stem dimensions.
+fn pair_dim(a: u32, b: u32) -> u32 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    // Szudzik-style pairing folded into 32 bits; collisions are rare and
+    // harmless (they only merge two unrelated dimensions).
+    let h = u64::from(hi) * 0x9E37_79B9 + u64::from(lo) * 0x85EB_CA6B;
+    (h ^ (h >> 31)) as u32
+}
+
+/// Build one context vector per occurrence of `phrase` under the chosen
+/// representation. Context = the occurrence's sentence minus the phrase,
+/// stopwords and non-lexical tokens, stem-conflated. Use
+/// [`ContextScope::Document`] when each document is one citation-style
+/// context (the MSH-WSD setting).
+pub fn build_representation(
+    corpus: &Corpus,
+    phrase: &[TokenId],
+    repr: Representation,
+    stems: &StemMap,
+    scope: ContextScope,
+) -> Vec<SparseVector> {
+    let occs = find_occurrences(corpus, phrase);
+    let opts = ContextOptions {
+        window: None,
+        stemmed: true,
+        scope,
+    };
+    occs.into_iter()
+        .map(|occ| {
+            let bow =
+                boe_corpus::context::context_vector(corpus, occ, phrase.len(), opts, Some(stems));
+            match repr {
+                Representation::BagOfWords => bow,
+                Representation::Graph => {
+                    let dims: Vec<u32> = bow.iter().map(|(d, _)| d).collect();
+                    let mut pairs = Vec::new();
+                    for i in 0..dims.len() {
+                        for j in (i + 1)..dims.len() {
+                            pairs.push((pair_dim(dims[i], dims[j]), 1.0));
+                        }
+                    }
+                    SparseVector::from_pairs(pairs)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn corpus(texts: &[&str]) -> Corpus {
+        let mut b = CorpusBuilder::new(Language::English);
+        for t in texts {
+            b.add_text(t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bow_vectors_one_per_occurrence() {
+        let c = corpus(&["target alpha beta.", "target gamma delta."]);
+        let stems = StemMap::build(&c);
+        let ids = c.phrase_ids("target").expect("known");
+        let vs = build_representation(&c, &ids, Representation::BagOfWords, &stems, ContextScope::Sentence);
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| v.nnz() == 2));
+        assert_eq!(vs[0].cosine(&vs[1]), 0.0, "disjoint contexts");
+    }
+
+    #[test]
+    fn graph_vectors_encode_pairs() {
+        let c = corpus(&["target alpha beta gamma."]);
+        let stems = StemMap::build(&c);
+        let ids = c.phrase_ids("target").expect("known");
+        let vs = build_representation(&c, &ids, Representation::Graph, &stems, ContextScope::Sentence);
+        // 3 context words → C(3,2) = 3 pair dimensions.
+        assert_eq!(vs[0].nnz(), 3);
+    }
+
+    #[test]
+    fn graph_repr_separates_shared_word_senses() {
+        // Both senses share "common", but pair combinations differ:
+        // bow contexts overlap, graph contexts overlap less.
+        let c = corpus(&[
+            "target common alpha.",
+            "target common beta.",
+            "target common alpha.",
+        ]);
+        let stems = StemMap::build(&c);
+        let ids = c.phrase_ids("target").expect("known");
+        let bow = build_representation(&c, &ids, Representation::BagOfWords, &stems, ContextScope::Sentence);
+        let graph = build_representation(&c, &ids, Representation::Graph, &stems, ContextScope::Sentence);
+        // occurrences 0 and 1: bow share "common" → cos = 0.5; graph pair
+        // dims (common,alpha) vs (common,beta) are disjoint → cos = 0.
+        assert!(bow[0].cosine(&bow[1]) > 0.4);
+        assert_eq!(graph[0].cosine(&graph[1]), 0.0);
+        // identical contexts stay identical in both.
+        assert!((bow[0].cosine(&bow[2]) - 1.0).abs() < 1e-9);
+        assert!((graph[0].cosine(&graph[2]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_dim_is_symmetric() {
+        assert_eq!(pair_dim(3, 9), pair_dim(9, 3));
+        assert_ne!(pair_dim(3, 9), pair_dim(3, 10));
+    }
+
+    #[test]
+    fn stemming_conflates_context_variants() {
+        let c = corpus(&["target graft tissue.", "target grafts tissue."]);
+        let stems = StemMap::build(&c);
+        let ids = c.phrase_ids("target").expect("known");
+        let vs = build_representation(&c, &ids, Representation::BagOfWords, &stems, ContextScope::Sentence);
+        assert!((vs[0].cosine(&vs[1]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Representation::BagOfWords.to_string(), "bag-of-words");
+        assert_eq!(Representation::Graph.to_string(), "graph");
+        assert_eq!(Representation::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! TeRGraph — graph-based term re-ranking (IRJ 2016, §5).
+//!
+//! BIOTEX's TeRGraph scores a term by the *specificity of its
+//! neighbourhood* in the term co-occurrence graph: a genuine domain term
+//! co-occurs with other specific terms (low-degree neighbours), while a
+//! general word sits next to hubs. We implement the published formula
+//!
+//! `TeRGraph(t) = log2( 1.5 + Σ_{n ∈ N(t)} (1 / |N(n)|) / |N(t)| )`
+//!
+//! over the candidate co-occurrence graph (candidates co-occurring in the
+//! same sentence are linked).
+
+use crate::termex::candidates::CandidateSet;
+use boe_corpus::Corpus;
+use boe_graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// The term co-occurrence graph over a candidate set: node = candidate
+/// index, edge weight = number of sentences where both candidates occur.
+pub fn term_cooccurrence_graph(corpus: &Corpus, set: &CandidateSet) -> Graph {
+    let mut g = Graph::with_nodes(set.len());
+    // Map from first token to candidate indices, for fast sentence scans.
+    let mut by_first: HashMap<boe_textkit::TokenId, Vec<usize>> = HashMap::new();
+    for (i, t) in set.terms.iter().enumerate() {
+        by_first.entry(t.tokens[0]).or_default().push(i);
+    }
+    let mut pair_counts: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut present: Vec<usize> = Vec::new();
+    for doc in corpus.docs() {
+        for s in &doc.sentences {
+            present.clear();
+            for start in 0..s.tokens.len() {
+                if let Some(cands) = by_first.get(&s.tokens[start]) {
+                    for &ci in cands {
+                        let t = &set.terms[ci];
+                        if start + t.tokens.len() <= s.tokens.len()
+                            && s.tokens[start..start + t.tokens.len()] == t.tokens[..]
+                        {
+                            present.push(ci);
+                        }
+                    }
+                }
+            }
+            present.sort_unstable();
+            present.dedup();
+            for i in 0..present.len() {
+                for j in (i + 1)..present.len() {
+                    *pair_counts.entry((present[i], present[j])).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<((usize, usize), u32)> = pair_counts.into_iter().collect();
+    pairs.sort_unstable();
+    for ((a, b), w) in pairs {
+        g.add_edge(NodeId(a as u32), NodeId(b as u32), f64::from(w));
+    }
+    g
+}
+
+/// TeRGraph scores for every candidate (index-aligned with the set).
+/// Isolated candidates score `log2(1.5)` (empty neighbourhood sum).
+pub fn tergraph_scores(graph: &Graph) -> Vec<f64> {
+    graph
+        .nodes()
+        .map(|v| {
+            let nbs = graph.neighbours(v);
+            if nbs.is_empty() {
+                return 1.5f64.log2();
+            }
+            let sum: f64 = nbs
+                .iter()
+                .map(|&(u, _)| 1.0 / graph.degree(u).max(1) as f64)
+                .sum();
+            (1.5 + sum / nbs.len() as f64).log2()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::termex::candidates::{extract_candidates, CandidateOptions};
+    use boe_corpus::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn setup(texts: &[&str]) -> (Corpus, CandidateSet) {
+        let mut b = CorpusBuilder::new(Language::English);
+        for t in texts {
+            b.add_text(t);
+        }
+        let c = b.build();
+        let set = extract_candidates(&c, CandidateOptions::default());
+        (c, set)
+    }
+
+    #[test]
+    fn cooccurring_candidates_are_linked() {
+        let (c, set) = setup(&[
+            "corneal injuries damage epithelium badly.",
+            "corneal injuries damage epithelium severely.",
+        ]);
+        let g = term_cooccurrence_graph(&c, &set);
+        let ci = set
+            .terms
+            .iter()
+            .position(|t| t.surface == "corneal injuries")
+            .expect("kept");
+        let ep = set
+            .terms
+            .iter()
+            .position(|t| t.surface == "epithelium")
+            .expect("kept");
+        let w = g.edge_weight(NodeId(ci as u32), NodeId(ep as u32));
+        assert_eq!(w, Some(2.0));
+    }
+
+    #[test]
+    fn different_sentences_do_not_link() {
+        let (c, set) = setup(&[
+            "cornea heals. epithelium grows.",
+            "cornea scars. epithelium thins.",
+        ]);
+        let g = term_cooccurrence_graph(&c, &set);
+        let a = set.terms.iter().position(|t| t.surface == "cornea").expect("kept");
+        let b = set
+            .terms
+            .iter()
+            .position(|t| t.surface == "epithelium")
+            .expect("kept");
+        assert!(!g.has_edge(NodeId(a as u32), NodeId(b as u32)));
+    }
+
+    #[test]
+    fn specific_neighbourhood_scores_higher() {
+        // Star: "hub" co-occurs with many; leaves co-occur only with hub.
+        // A leaf's neighbourhood (just the hub, high degree) is less
+        // specific than the hub's (all low-degree leaves): the hub scores
+        // higher — and both beat nothing. Verify ordering holds.
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i), 1.0);
+        }
+        let scores = tergraph_scores(&g);
+        // Hub: avg(1/1 ×4)/4 = 1 → log2(2.5). Leaf: (1/4)/1 → log2(1.75).
+        assert!((scores[0] - 2.5f64.log2()).abs() < 1e-12);
+        assert!((scores[1] - 1.75f64.log2()).abs() < 1e-12);
+        assert!(scores[0] > scores[1]);
+    }
+
+    #[test]
+    fn isolated_candidate_gets_floor_score() {
+        let g = Graph::with_nodes(1);
+        let scores = tergraph_scores(&g);
+        assert!((scores[0] - 1.5f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_candidates_both_detected_in_sentence() {
+        let (c, set) = setup(&[
+            "acute corneal injuries worsen.",
+            "acute corneal injuries persist.",
+        ]);
+        let g = term_cooccurrence_graph(&c, &set);
+        let inner = set
+            .terms
+            .iter()
+            .position(|t| t.surface == "corneal injuries")
+            .expect("kept");
+        let outer = set
+            .terms
+            .iter()
+            .position(|t| t.surface == "acute corneal injuries")
+            .expect("kept");
+        // Both present in the same sentences → linked with weight 2.
+        assert_eq!(
+            g.edge_weight(NodeId(inner as u32), NodeId(outer as u32)),
+            Some(2.0)
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Context harvesting around term occurrences.
+//!
+//! Steps III (sense induction) and IV (semantic linkage) both operate on
+//! *contexts*: the non-stopword lexical tokens found in a window around
+//! each occurrence of a target term. This module finds occurrences of
+//! multi-word phrases and turns their surroundings into sparse vectors,
+//! optionally in a stem-conflated dimension space.
+
+use crate::corpus::Corpus;
+use crate::doc::DocId;
+use crate::vector::SparseVector;
+use boe_textkit::stem;
+use boe_textkit::{TokenId, Vocabulary};
+
+/// One occurrence of a phrase in a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Containing document.
+    pub doc: DocId,
+    /// Sentence index within the document.
+    pub sentence: usize,
+    /// Start token position within the sentence.
+    pub start: usize,
+}
+
+/// Maps every corpus token id to a stem id in a separate stem vocabulary,
+/// so context vectors can conflate inflectional variants.
+#[derive(Debug, Clone)]
+pub struct StemMap {
+    map: Vec<u32>,
+    stems: Vocabulary,
+}
+
+impl StemMap {
+    /// Build the stem map for `corpus` (one stemmer pass over the vocab).
+    pub fn build(corpus: &Corpus) -> Self {
+        let lang = corpus.language();
+        let mut stems = Vocabulary::new();
+        let mut map = Vec::with_capacity(corpus.vocab().len());
+        for (_, text) in corpus.vocab().iter() {
+            let stemmed = stem::stem(lang, text);
+            map.push(stems.intern(&stemmed).0);
+        }
+        StemMap { map, stems }
+    }
+
+    /// Stem dimension for a corpus token id.
+    pub fn stem_dim(&self, t: TokenId) -> u32 {
+        self.map[t.index()]
+    }
+
+    /// The stem vocabulary (dimension ↔ stem string).
+    pub fn stems(&self) -> &Vocabulary {
+        &self.stems
+    }
+}
+
+/// Find all occurrences of `phrase` (exact adjacent token-id sequence).
+pub fn find_occurrences(corpus: &Corpus, phrase: &[TokenId]) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    if phrase.is_empty() {
+        return out;
+    }
+    for doc in corpus.docs() {
+        for (si, s) in doc.sentences.iter().enumerate() {
+            if s.tokens.len() < phrase.len() {
+                continue;
+            }
+            for start in 0..=(s.tokens.len() - phrase.len()) {
+                if s.tokens[start..start + phrase.len()] == *phrase {
+                    out.push(Occurrence {
+                        doc: doc.id,
+                        sentence: si,
+                        start,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// How far a context reaches around an occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContextScope {
+    /// The occurrence's sentence (optionally narrowed by a window).
+    #[default]
+    Sentence,
+    /// The occurrence's whole document — MSH-WSD style, where each
+    /// citation is one context.
+    Document,
+}
+
+/// Options for context-vector construction.
+#[derive(Debug, Clone, Copy)]
+pub struct ContextOptions {
+    /// Window half-width in tokens on each side of the occurrence;
+    /// `None` means the whole sentence. Ignored under
+    /// [`ContextScope::Document`].
+    pub window: Option<usize>,
+    /// Conflate dimensions through a stem map.
+    pub stemmed: bool,
+    /// Context reach.
+    pub scope: ContextScope,
+}
+
+impl Default for ContextOptions {
+    fn default() -> Self {
+        ContextOptions {
+            window: None,
+            stemmed: true,
+            scope: ContextScope::Sentence,
+        }
+    }
+}
+
+/// Build the context vector of one occurrence. The phrase's own tokens are
+/// excluded; stopwords and non-lexical tokens are skipped.
+pub fn context_vector(
+    corpus: &Corpus,
+    occ: Occurrence,
+    phrase_len: usize,
+    opts: ContextOptions,
+    stems: Option<&StemMap>,
+) -> SparseVector {
+    let doc = corpus.doc(occ.doc);
+    let mut pairs = Vec::new();
+    let mut collect = |sentence_idx: usize, lo: usize, hi: usize| {
+        let s = &doc.sentences[sentence_idx];
+        for i in lo..hi.min(s.tokens.len()) {
+            if sentence_idx == occ.sentence && i >= occ.start && i < occ.start + phrase_len {
+                continue; // the term itself
+            }
+            let t = s.tokens[i];
+            if corpus.is_stopword(t) || !s.tags[i].is_term_internal() {
+                continue;
+            }
+            let dim = match (opts.stemmed, stems) {
+                (true, Some(sm)) => sm.stem_dim(t),
+                _ => t.0,
+            };
+            pairs.push((dim, 1.0));
+        }
+    };
+    match opts.scope {
+        ContextScope::Sentence => {
+            let n = doc.sentences[occ.sentence].tokens.len();
+            let (lo, hi) = match opts.window {
+                Some(w) => (
+                    occ.start.saturating_sub(w),
+                    (occ.start + phrase_len + w).min(n),
+                ),
+                None => (0, n),
+            };
+            collect(occ.sentence, lo, hi);
+        }
+        ContextScope::Document => {
+            for si in 0..doc.sentences.len() {
+                collect(si, 0, usize::MAX);
+            }
+        }
+    }
+    SparseVector::from_pairs(pairs)
+}
+
+/// All per-occurrence context vectors of `phrase`.
+pub fn contexts(
+    corpus: &Corpus,
+    phrase: &[TokenId],
+    opts: ContextOptions,
+    stems: Option<&StemMap>,
+) -> Vec<SparseVector> {
+    find_occurrences(corpus, phrase)
+        .into_iter()
+        .map(|occ| context_vector(corpus, occ, phrase.len(), opts, stems))
+        .collect()
+}
+
+/// The aggregate (summed) context vector of `phrase` over the corpus —
+/// what Step IV compares with cosine.
+pub fn aggregate_context(
+    corpus: &Corpus,
+    phrase: &[TokenId],
+    opts: ContextOptions,
+    stems: Option<&StemMap>,
+) -> SparseVector {
+    SparseVector::sum_of(&contexts(corpus, phrase, opts, stems))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn corpus() -> Corpus {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("Corneal injuries damage the epithelium badly.");
+        b.add_text("Severe corneal injuries require amniotic membrane grafts.");
+        b.add_text("The cornea is transparent.");
+        b.build()
+    }
+
+    #[test]
+    fn finds_all_occurrences() {
+        let c = corpus();
+        let phrase = c.phrase_ids("corneal injuries").expect("known");
+        let occs = find_occurrences(&c, &phrase);
+        assert_eq!(occs.len(), 2);
+        assert_eq!(occs[0].doc, DocId(0));
+        assert_eq!(occs[1].doc, DocId(1));
+        assert_eq!(occs[1].start, 1);
+    }
+
+    #[test]
+    fn context_excludes_phrase_and_stopwords() {
+        let c = corpus();
+        let phrase = c.phrase_ids("corneal injuries").expect("known");
+        let occs = find_occurrences(&c, &phrase);
+        let opts = ContextOptions {
+            window: None,
+            stemmed: false,
+            scope: ContextScope::Sentence,
+        };
+        let v = context_vector(&c, occs[0], phrase.len(), opts, None);
+        let epithelium = c.vocab().get("epithelium").expect("id");
+        let the = c.vocab().get("the").expect("id");
+        let corneal = c.vocab().get("corneal").expect("id");
+        assert!(v.get(epithelium.0) > 0.0);
+        assert_eq!(v.get(the.0), 0.0, "stopword excluded");
+        assert_eq!(v.get(corneal.0), 0.0, "phrase token excluded");
+    }
+
+    #[test]
+    fn window_limits_context() {
+        let c = corpus();
+        let phrase = c.phrase_ids("corneal injuries").expect("known");
+        let occs = find_occurrences(&c, &phrase);
+        let narrow = ContextOptions {
+            window: Some(1),
+            stemmed: false,
+            scope: ContextScope::Sentence,
+        };
+        // Occurrence in doc 1: "Severe corneal injuries require amniotic ..."
+        let v = context_vector(&c, occs[1], phrase.len(), narrow, None);
+        let severe = c.vocab().get("severe").expect("id");
+        let grafts = c.vocab().get("grafts").expect("id");
+        assert!(v.get(severe.0) > 0.0);
+        assert_eq!(v.get(grafts.0), 0.0, "outside window");
+    }
+
+    #[test]
+    fn stemmed_dims_conflate_variants() {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("graft tissue heals. grafts tissue heal.");
+        let c = b.build();
+        let sm = StemMap::build(&c);
+        let graft = c.vocab().get("graft").expect("id");
+        let grafts = c.vocab().get("grafts").expect("id");
+        assert_eq!(sm.stem_dim(graft), sm.stem_dim(grafts));
+    }
+
+    #[test]
+    fn aggregate_sums_occurrences() {
+        let c = corpus();
+        let phrase = c.phrase_ids("corneal injuries").expect("known");
+        let opts = ContextOptions {
+            window: None,
+            stemmed: false,
+            scope: ContextScope::Sentence,
+        };
+        let per = contexts(&c, &phrase, opts, None);
+        let agg = aggregate_context(&c, &phrase, opts, None);
+        let manual = SparseVector::sum_of(&per);
+        assert_eq!(agg, manual);
+        assert!(agg.sum() >= per[0].sum());
+    }
+
+    #[test]
+    fn empty_phrase_has_no_occurrences() {
+        let c = corpus();
+        assert!(find_occurrences(&c, &[]).is_empty());
+    }
+
+    #[test]
+    fn unknown_phrase_yields_empty_contexts() {
+        let c = corpus();
+        // Construct an id sequence that never occurs adjacently.
+        let a = c.vocab().get("cornea").expect("id");
+        let b2 = c.vocab().get("grafts").expect("id");
+        assert!(contexts(&c, &[a, b2], ContextOptions::default(), None).is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! The corpus container and its builder.
+
+use crate::doc::{DocId, Document, Sentence};
+use boe_textkit::pos::{PosTag, PosTagger};
+use boe_textkit::sentence::split_sentences;
+use boe_textkit::stopwords::StopwordSet;
+use boe_textkit::{Language, TokenId, Tokenizer, Vocabulary};
+
+/// A tokenized, tagged, interned document collection for one language.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    lang: Language,
+    vocab: Vocabulary,
+    docs: Vec<Document>,
+    /// `stop[id] == true` iff the token is a stopword (parallel to vocab).
+    stop: Vec<bool>,
+}
+
+impl Corpus {
+    /// The corpus language.
+    pub fn language(&self) -> Language {
+        self.lang
+    }
+
+    /// The interned vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The documents.
+    pub fn docs(&self) -> &[Document] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus contains no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total token count.
+    pub fn token_count(&self) -> usize {
+        self.docs.iter().map(Document::token_count).sum()
+    }
+
+    /// Get a document by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.index()]
+    }
+
+    /// Is `id` a stopword in this corpus's language?
+    pub fn is_stopword(&self, id: TokenId) -> bool {
+        self.stop.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Resolve a token id back to its surface form.
+    pub fn text(&self, id: TokenId) -> &str {
+        self.vocab.text(id)
+    }
+
+    /// Intern a phrase ("corneal injuries") into the token-id sequence it
+    /// would have in this corpus, or `None` if any word is unknown.
+    pub fn phrase_ids(&self, phrase: &str) -> Option<Vec<TokenId>> {
+        phrase
+            .split_whitespace()
+            .map(|w| self.vocab.get(&w.to_lowercase()))
+            .collect()
+    }
+}
+
+/// Incremental corpus builder: feed raw texts, get a [`Corpus`].
+#[derive(Debug)]
+pub struct CorpusBuilder {
+    lang: Language,
+    tokenizer: Tokenizer,
+    tagger: PosTagger,
+    stopwords: StopwordSet,
+    vocab: Vocabulary,
+    docs: Vec<Document>,
+    stop: Vec<bool>,
+}
+
+impl CorpusBuilder {
+    /// A builder for `lang`.
+    pub fn new(lang: Language) -> Self {
+        CorpusBuilder {
+            lang,
+            tokenizer: Tokenizer::new(lang),
+            tagger: PosTagger::new(lang),
+            stopwords: StopwordSet::for_language(lang),
+            vocab: Vocabulary::new(),
+            docs: Vec::new(),
+            stop: Vec::new(),
+        }
+    }
+
+    /// Tokenize, tag and intern one raw text as a new document. Returns its
+    /// id.
+    pub fn add_text(&mut self, text: &str) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("more than u32::MAX documents"));
+        let mut sentences = Vec::new();
+        let mut tok_buf = Vec::new();
+        for raw_sentence in split_sentences(text) {
+            tok_buf.clear();
+            self.tokenizer.tokenize_into(raw_sentence, &mut tok_buf);
+            if tok_buf.is_empty() {
+                continue;
+            }
+            let tags = self.tagger.tag(&tok_buf);
+            let ids: Vec<TokenId> = tok_buf
+                .iter()
+                .map(|t| {
+                    let id = self.vocab.intern(&t.text);
+                    if id.index() == self.stop.len() {
+                        self.stop.push(self.stopwords.contains(&t.text));
+                    }
+                    id
+                })
+                .collect();
+            sentences.push(Sentence::new(ids, tags));
+        }
+        self.docs.push(Document { id, sentences });
+        id
+    }
+
+    /// Add a pre-tokenized sentence list as one document (used by the
+    /// synthetic generators, which emit tokens directly).
+    pub fn add_tokenized(&mut self, sentences: Vec<(Vec<String>, Vec<PosTag>)>) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("more than u32::MAX documents"));
+        let sents = sentences
+            .into_iter()
+            .map(|(words, tags)| {
+                let ids: Vec<TokenId> = words
+                    .iter()
+                    .map(|w| {
+                        let tid = self.vocab.intern(w);
+                        if tid.index() == self.stop.len() {
+                            self.stop.push(self.stopwords.contains(w.as_str()));
+                        }
+                        tid
+                    })
+                    .collect();
+                Sentence::new(ids, tags)
+            })
+            .collect();
+        self.docs.push(Document {
+            id,
+            sentences: sents,
+        });
+        id
+    }
+
+    /// Number of documents added so far.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether no documents were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Corpus {
+        Corpus {
+            lang: self.lang,
+            vocab: self.vocab,
+            docs: self.docs,
+            stop: self.stop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("Corneal injuries are severe. The cornea heals slowly.");
+        b.add_text("Eye injuries include corneal injuries.");
+        b.build()
+    }
+
+    #[test]
+    fn builds_documents_and_sentences() {
+        let c = small_corpus();
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.doc(DocId(0)).sentences.len(), 2);
+        assert_eq!(c.doc(DocId(1)).sentences.len(), 1);
+    }
+
+    #[test]
+    fn vocabulary_is_shared_across_documents() {
+        let c = small_corpus();
+        let id = c.vocab().get("corneal").expect("interned");
+        // "corneal" occurs in both docs under the same id.
+        let occurs_in = |d: &Document| d.iter_tokens().any(|(_, _, t, _)| t == id);
+        assert!(occurs_in(c.doc(DocId(0))));
+        assert!(occurs_in(c.doc(DocId(1))));
+    }
+
+    #[test]
+    fn stopword_flags() {
+        let c = small_corpus();
+        let the = c.vocab().get("the").expect("interned");
+        let cornea = c.vocab().get("cornea").expect("interned");
+        assert!(c.is_stopword(the));
+        assert!(!c.is_stopword(cornea));
+    }
+
+    #[test]
+    fn phrase_ids_round_trip() {
+        let c = small_corpus();
+        let ids = c.phrase_ids("corneal injuries").expect("known words");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(c.text(ids[0]), "corneal");
+        assert!(c.phrase_ids("unknown gibberish").is_none());
+    }
+
+    #[test]
+    fn token_count() {
+        let c = small_corpus();
+        assert_eq!(
+            c.token_count(),
+            c.docs().iter().map(Document::token_count).sum::<usize>()
+        );
+        assert!(c.token_count() > 10);
+    }
+
+    #[test]
+    fn add_tokenized_interns_and_flags() {
+        let mut b = CorpusBuilder::new(Language::English);
+        let id = b.add_tokenized(vec![(
+            vec!["the".into(), "cornea".into()],
+            vec![PosTag::Determiner, PosTag::Noun],
+        )]);
+        let c = b.build();
+        assert_eq!(id, DocId(0));
+        let the = c.vocab().get("the").expect("interned");
+        assert!(c.is_stopword(the));
+    }
+}

@@ -1,0 +1,113 @@
+//! Documents and sentences.
+
+use boe_textkit::pos::PosTag;
+use boe_textkit::TokenId;
+use std::fmt;
+
+/// Dense document identifier within one [`crate::Corpus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// One sentence: parallel arrays of interned token ids and POS tags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sentence {
+    /// Interned token ids (lexical and punctuation tokens alike).
+    pub tokens: Vec<TokenId>,
+    /// POS tag per token; same length as `tokens`.
+    pub tags: Vec<PosTag>,
+}
+
+impl Sentence {
+    /// Construct, checking the parallel-array invariant.
+    pub fn new(tokens: Vec<TokenId>, tags: Vec<PosTag>) -> Self {
+        assert_eq!(tokens.len(), tags.len(), "tokens/tags length mismatch");
+        Sentence { tokens, tags }
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the sentence has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// A tokenized document: a sequence of sentences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// This document's id within its corpus.
+    pub id: DocId,
+    /// The sentences, in order.
+    pub sentences: Vec<Sentence>,
+}
+
+impl Document {
+    /// Total token count across sentences.
+    pub fn token_count(&self) -> usize {
+        self.sentences.iter().map(Sentence::len).sum()
+    }
+
+    /// Iterate all `(sentence_idx, position, token, tag)` quadruples.
+    pub fn iter_tokens(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, TokenId, PosTag)> + '_ {
+        self.sentences.iter().enumerate().flat_map(|(si, s)| {
+            s.tokens
+                .iter()
+                .zip(s.tags.iter())
+                .enumerate()
+                .map(move |(pi, (&t, &g))| (si, pi, t, g))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentence_invariant() {
+        let s = Sentence::new(vec![TokenId(0), TokenId(1)], vec![PosTag::Noun, PosTag::Noun]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sentence_mismatch_panics() {
+        let _ = Sentence::new(vec![TokenId(0)], vec![]);
+    }
+
+    #[test]
+    fn document_token_count_and_iter() {
+        let d = Document {
+            id: DocId(3),
+            sentences: vec![
+                Sentence::new(vec![TokenId(0)], vec![PosTag::Noun]),
+                Sentence::new(vec![TokenId(1), TokenId(2)], vec![PosTag::Noun, PosTag::Verb]),
+            ],
+        };
+        assert_eq!(d.token_count(), 3);
+        let items: Vec<_> = d.iter_tokens().collect();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2], (1, 1, TokenId(2), PosTag::Verb));
+        assert_eq!(d.id.to_string(), "d3");
+        assert_eq!(d.id.index(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Morpheme-based biomedical-like vocabulary generation.
+//!
+//! Words are composed from Greco-Latin roots and derivational suffixes so
+//! that (a) they look like biomedical vocabulary, (b) the `boe-textkit`
+//! suffix tagger classifies them correctly, and (c) the pool is large
+//! enough (thousands of forms) to give every synthetic concept an
+//! exclusive sub-vocabulary.
+
+use boe_textkit::Language;
+
+/// Anatomical/clinical roots shared by all three languages.
+pub const ROOTS: &[&str] = &[
+    "cardi", "hepat", "nephr", "neur", "derm", "gastr", "oste", "arthr", "pulmon", "ocul",
+    "corne", "retin", "vascul", "hemat", "onc", "cyt", "immun", "thyr", "gluc", "lip",
+    "angi", "bronch", "col", "crani", "cyst", "encephal", "enter", "fibr", "gingiv",
+    "gloss", "kerat", "lact", "laryng", "leuk", "mening", "myel", "nas", "necr", "odont",
+    "ophthalm", "oss", "ot", "phleb", "pneum", "proct", "psych", "rhin", "scler", "splen",
+    "stomat", "thromb", "tox", "trache", "ur", "uter", "ven", "vertebr", "aden", "chondr",
+    "cortic", "cutane", "digit", "dors", "febr", "gon", "hemorrh", "hypn", "lingu",
+    "mamm", "muscul", "ocell", "palat", "pector", "pharyng", "plasm", "sebac", "tend",
+    "vesic",
+];
+
+/// A per-language pool of generated open-class words plus the closed-class
+/// fillers the sentence templates need.
+#[derive(Debug, Clone)]
+pub struct LexiconPools {
+    /// The language of the pools.
+    pub lang: Language,
+    /// Topic-grade nouns ("carditis", "hepatoma", …).
+    pub nouns: Vec<String>,
+    /// Topic-grade adjectives ("cardial", "hepatic", …).
+    pub adjectives: Vec<String>,
+    /// Verbs usable as sentence predicates; all present in the tagger's
+    /// closed-class lexicon so tagging stays consistent.
+    pub verbs: Vec<&'static str>,
+    /// Determiners.
+    pub determiners: Vec<&'static str>,
+    /// Prepositions for N-P-N constructions.
+    pub prepositions: Vec<&'static str>,
+    /// General scientific background nouns.
+    pub background_nouns: Vec<&'static str>,
+    /// General scientific background adjectives.
+    pub background_adjectives: Vec<&'static str>,
+}
+
+impl LexiconPools {
+    /// Generate the pools for `lang`.
+    pub fn generate(lang: Language) -> Self {
+        let (noun_sufs, adj_sufs): (&[&str], &[&str]) = match lang {
+            Language::English => (
+                &[
+                    "itis", "osis", "oma", "opathy", "ectomy", "ography", "emia", "ology",
+                    "oplasty", "ogram", "ocyte", "ogenesis", "oplasia", "osclerosis",
+                ],
+                &["al", "ic", "ous", "ar", "oid"],
+            ),
+            Language::French => (
+                &[
+                    "ite", "ose", "ome", "opathie", "ectomie", "ographie", "émie", "ologie",
+                    "oplastie", "ogenèse",
+                ],
+                &["ique", "al", "aire", "eux"],
+            ),
+            Language::Spanish => (
+                &[
+                    "itis", "osis", "oma", "opatía", "ectomía", "ografía", "emia", "ología",
+                    "oplastia", "ogénesis",
+                ],
+                &["ico", "al", "ario", "oso"],
+            ),
+        };
+        let nouns: Vec<String> = ROOTS
+            .iter()
+            .flat_map(|r| noun_sufs.iter().map(move |s| format!("{r}{s}")))
+            .collect();
+        let adjectives: Vec<String> = ROOTS
+            .iter()
+            .flat_map(|r| adj_sufs.iter().map(move |s| format!("{r}{s}")))
+            .collect();
+        let (verbs, determiners, prepositions): (Vec<&'static str>, Vec<&'static str>, Vec<&'static str>) =
+            match lang {
+                Language::English => (
+                    vec![
+                        "causes", "shows", "affects", "induces", "requires", "involves",
+                        "suggests", "indicates", "reveals",
+                    ],
+                    vec!["the", "a", "this"],
+                    vec!["of", "in", "with", "for", "during"],
+                ),
+                Language::French => (
+                    vec!["provoque", "montre", "présente", "entraîne"],
+                    vec!["le", "la", "les", "une"],
+                    vec!["de", "dans", "avec", "pour"],
+                ),
+                Language::Spanish => (
+                    vec!["causa", "muestra", "presenta", "produce"],
+                    vec!["el", "la", "los", "una"],
+                    vec!["de", "en", "con", "para"],
+                ),
+            };
+        let (background_nouns, background_adjectives): (Vec<&'static str>, Vec<&'static str>) =
+            match lang {
+                Language::English => (
+                    vec![
+                        "patient", "patients", "treatment", "therapy", "diagnosis", "analysis",
+                        "outcome", "response", "lesion", "tissue", "sample", "syndrome",
+                        "disease", "disorder", "infection", "inflammation", "symptom", "cell",
+                        "membrane", "protein", "receptor", "gene", "expression", "function",
+                        "surgery", "procedure", "evaluation", "examination", "population",
+                        "incidence",
+                    ],
+                    vec![
+                        "acute", "chronic", "severe", "mild", "clinical", "surgical", "common",
+                        "rare", "early", "late", "bilateral", "benign", "malignant", "human",
+                    ],
+                ),
+                Language::French => (
+                    vec![
+                        "patient", "patients", "traitement", "thérapie", "diagnostic",
+                        "analyse", "lésion", "tissu", "échantillon", "syndrome", "maladie",
+                        "infection", "inflammation", "symptôme", "cellule", "membrane",
+                        "protéine", "récepteur", "gène", "fonction", "chirurgie", "procédure",
+                        "évaluation", "incidence",
+                    ],
+                    vec![
+                        "aigu", "chronique", "sévère", "clinique", "chirurgical", "rare",
+                        "bénin", "humain", "précoce", "tardif",
+                    ],
+                ),
+                Language::Spanish => (
+                    vec![
+                        "paciente", "pacientes", "tratamiento", "terapia", "diagnóstico",
+                        "análisis", "lesión", "tejido", "muestra", "síndrome", "enfermedad",
+                        "infección", "inflamación", "síntoma", "célula", "membrana",
+                        "proteína", "receptor", "gen", "función", "cirugía", "procedimiento",
+                        "evaluación", "incidencia",
+                    ],
+                    vec![
+                        "agudo", "crónico", "severo", "clínico", "quirúrgico", "raro",
+                        "benigno", "humano", "precoz", "tardío",
+                    ],
+                ),
+            };
+        LexiconPools {
+            lang,
+            nouns,
+            adjectives,
+            verbs,
+            determiners,
+            prepositions,
+            background_nouns,
+            background_adjectives,
+        }
+    }
+
+    /// Take `n` nouns starting at `offset` (wrapping); used to give each
+    /// concept an exclusive noun sub-pool when `offset` strides by `n`.
+    pub fn noun_slice(&self, offset: usize, n: usize) -> Vec<String> {
+        take_wrapping(&self.nouns, offset, n)
+    }
+
+    /// Take `n` adjectives starting at `offset` (wrapping).
+    pub fn adjective_slice(&self, offset: usize, n: usize) -> Vec<String> {
+        take_wrapping(&self.adjectives, offset, n)
+    }
+}
+
+fn take_wrapping(pool: &[String], offset: usize, n: usize) -> Vec<String> {
+    assert!(!pool.is_empty(), "empty pool");
+    (0..n)
+        .map(|i| pool[(offset + i) % pool.len()].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_textkit::pos::{PosTag, PosTagger};
+    use boe_textkit::Tokenizer;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_large_and_unique() {
+        for lang in Language::ALL {
+            let p = LexiconPools::generate(lang);
+            assert!(p.nouns.len() >= 700, "{lang}: {}", p.nouns.len());
+            assert!(p.adjectives.len() >= 280, "{lang}");
+            let set: HashSet<_> = p.nouns.iter().collect();
+            assert_eq!(set.len(), p.nouns.len(), "{lang}: duplicate nouns");
+        }
+    }
+
+    #[test]
+    fn generated_nouns_tag_as_nouns() {
+        for lang in Language::ALL {
+            let p = LexiconPools::generate(lang);
+            let tagger = PosTagger::new(lang);
+            let tk = Tokenizer::new(lang);
+            for w in p.nouns.iter().step_by(97) {
+                let toks = tk.tokenize(w);
+                assert_eq!(toks.len(), 1, "{lang}: {w} split");
+                let tags = tagger.tag(&toks);
+                assert_eq!(tags[0], PosTag::Noun, "{lang}: {w} tagged {:?}", tags[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_adjectives_tag_as_adjectives() {
+        for lang in Language::ALL {
+            let p = LexiconPools::generate(lang);
+            let tagger = PosTagger::new(lang);
+            let tk = Tokenizer::new(lang);
+            for w in p.adjectives.iter().step_by(41) {
+                let toks = tk.tokenize(w);
+                let tags = tagger.tag(&toks);
+                assert_eq!(
+                    tags[0],
+                    PosTag::Adjective,
+                    "{lang}: {w} tagged {:?}",
+                    tags[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verbs_are_in_closed_lexicon() {
+        for lang in Language::ALL {
+            let p = LexiconPools::generate(lang);
+            let tagger = PosTagger::new(lang);
+            let tk = Tokenizer::new(lang);
+            for v in &p.verbs {
+                let toks = tk.tokenize(v);
+                let tags = tagger.tag(&toks);
+                assert_eq!(tags[0], PosTag::Verb, "{lang}: {v} tagged {:?}", tags[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn noun_slices_stride_disjointly() {
+        let p = LexiconPools::generate(Language::English);
+        let a = p.noun_slice(0, 10);
+        let b = p.noun_slice(10, 10);
+        let sa: HashSet<_> = a.iter().collect();
+        assert!(b.iter().all(|w| !sa.contains(w)));
+    }
+
+    #[test]
+    fn noun_slice_wraps() {
+        let p = LexiconPools::generate(Language::English);
+        let n = p.nouns.len();
+        let s = p.noun_slice(n - 2, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[2], p.nouns[0]);
+    }
+}

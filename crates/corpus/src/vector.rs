@@ -1,0 +1,289 @@
+//! Sparse vectors and the cosine kernel.
+//!
+//! Dimensions are `u32` (interned token ids or feature ids), entries are
+//! kept sorted by dimension, so dot products are linear merges — this is
+//! the hot kernel of Steps III and IV.
+
+use std::collections::HashMap;
+
+/// A sparse vector: sorted `(dimension, value)` pairs with no duplicate
+/// dimensions and no explicit zeros.
+///
+/// ```
+/// use boe_corpus::SparseVector;
+///
+/// let a = SparseVector::from_pairs([(0, 3.0), (1, 4.0)]);
+/// let b = SparseVector::from_pairs([(1, 1.0)]);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a.dot(&b), 4.0);
+/// assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// The empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from unsorted `(dim, value)` pairs, summing duplicates and
+    /// dropping zeros.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, f64)>) -> Self {
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for (d, v) in pairs {
+            *acc.entry(d).or_insert(0.0) += v;
+        }
+        let mut entries: Vec<(u32, f64)> =
+            acc.into_iter().filter(|(_, v)| *v != 0.0).collect();
+        entries.sort_unstable_by_key(|(d, _)| *d);
+        SparseVector { entries }
+    }
+
+    /// Build from integer counts.
+    pub fn from_counts(counts: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        Self::from_pairs(counts.into_iter().map(|(d, c)| (d, f64::from(c))))
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all zeros.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Value at `dim` (0.0 if absent).
+    pub fn get(&self, dim: u32) -> f64 {
+        match self.entries.binary_search_by_key(&dim, |(d, _)| *d) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product (merge join over sorted entries).
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (a, b) = (&self.entries, &other.entries);
+        let mut i = 0;
+        let mut j = 0;
+        let mut sum = 0.0;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += a[i].1 * b[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, v)| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Sum of values (L1 mass for non-negative vectors).
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Cosine similarity; 0.0 when either vector is zero.
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.dot(other) / denom).clamp(-1.0, 1.0)
+        }
+    }
+
+    /// In-place scale by `s` (dropping entries if `s == 0`).
+    pub fn scale(&mut self, s: f64) {
+        if s == 0.0 {
+            self.entries.clear();
+        } else {
+            for (_, v) in &mut self.entries {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Return a unit-norm copy (zero vector stays zero).
+    pub fn normalized(&self) -> SparseVector {
+        let n = self.norm();
+        let mut out = self.clone();
+        if n > 0.0 {
+            out.scale(1.0 / n);
+        }
+        out
+    }
+
+    /// Add `other` into `self` (merge).
+    pub fn add_assign(&mut self, other: &SparseVector) {
+        if other.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let mut i = 0;
+        let mut j = 0;
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&(da, va)), Some(&(db, vb))) => match da.cmp(&db) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((da, va));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((db, vb));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let v = va + vb;
+                        if v != 0.0 {
+                            merged.push((da, v));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(&(da, va)), None) => {
+                    merged.push((da, va));
+                    i += 1;
+                }
+                (None, Some(&(db, vb))) => {
+                    merged.push((db, vb));
+                    j += 1;
+                }
+                (None, None) => unreachable!("loop condition"),
+            }
+        }
+        self.entries = merged;
+    }
+
+    /// Sum a slice of vectors (centroid numerator).
+    pub fn sum_of(vectors: &[SparseVector]) -> SparseVector {
+        let mut acc = SparseVector::new();
+        for v in vectors {
+            acc.add_assign(v);
+        }
+        acc
+    }
+
+    /// Centroid (mean) of a slice; the empty slice yields the zero vector.
+    pub fn centroid(vectors: &[SparseVector]) -> SparseVector {
+        let mut acc = Self::sum_of(vectors);
+        if !vectors.is_empty() {
+            acc.scale(1.0 / vectors.len() as f64);
+        }
+        acc
+    }
+
+    /// Iterate `(dim, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVector {
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let x = v(&[(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(x.entries(), &[(1, 2.0), (3, 5.0)]);
+        assert_eq!(x.nnz(), 2);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = v(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = v(&[(2, 4.0), (5, 1.0), (7, 9.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 4.0 + 3.0 * 1.0);
+    }
+
+    #[test]
+    fn cosine_identity_and_orthogonal() {
+        let a = v(&[(0, 3.0), (1, 4.0)]);
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+        let b = v(&[(2, 1.0)]);
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let a = v(&[(0, 1.0)]);
+        let z = SparseVector::new();
+        assert_eq!(a.cosine(&z), 0.0);
+        assert_eq!(z.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn norm_and_sum() {
+        let a = v(&[(0, 3.0), (1, 4.0)]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        assert!((a.sum() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let a = v(&[(0, 3.0), (1, 4.0)]);
+        assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
+        assert!(SparseVector::new().normalized().is_empty());
+    }
+
+    #[test]
+    fn add_assign_merges_and_cancels() {
+        let mut a = v(&[(0, 1.0), (2, 2.0)]);
+        a.add_assign(&v(&[(1, 5.0), (2, -2.0)]));
+        assert_eq!(a.entries(), &[(0, 1.0), (1, 5.0)]);
+    }
+
+    #[test]
+    fn centroid_of_two() {
+        let c = SparseVector::centroid(&[v(&[(0, 2.0)]), v(&[(0, 4.0), (1, 2.0)])]);
+        assert_eq!(c.entries(), &[(0, 3.0), (1, 1.0)]);
+        assert!(SparseVector::centroid(&[]).is_empty());
+    }
+
+    #[test]
+    fn get_by_dim() {
+        let a = v(&[(4, 2.5)]);
+        assert_eq!(a.get(4), 2.5);
+        assert_eq!(a.get(5), 0.0);
+    }
+
+    #[test]
+    fn from_counts() {
+        let a = SparseVector::from_counts([(1, 2u32), (1, 3u32)]);
+        assert_eq!(a.entries(), &[(1, 5.0)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Term weighting: TF-IDF variants and Okapi BM25.
+//!
+//! These are the IR measures the BIOTEX term-extraction step combines
+//! (F-TFIDF-C fuses TF-IDF with C-value; F-OCapi fuses Okapi with
+//! C-value; LIDF-value uses IDF).
+
+use crate::doc::DocId;
+use crate::index::InvertedIndex;
+use boe_textkit::TokenId;
+
+/// Smoothed inverse document frequency: `ln((N + 1) / (df + 1)) + 1`.
+pub fn idf(index: &InvertedIndex, token: TokenId) -> f64 {
+    let n = index.doc_count() as f64;
+    let df = index.doc_freq(token) as f64;
+    ((n + 1.0) / (df + 1.0)).ln() + 1.0
+}
+
+/// Raw TF-IDF of `token` in `doc` (log-scaled tf).
+pub fn tf_idf(index: &InvertedIndex, token: TokenId, doc: DocId) -> f64 {
+    let tf = f64::from(index.tf_in_doc(token, doc));
+    if tf == 0.0 {
+        return 0.0;
+    }
+    (1.0 + tf.ln()) * idf(index, token)
+}
+
+/// Corpus-level TF-IDF of a token: max over documents, the variant BIOTEX
+/// uses to produce a single per-term score.
+pub fn max_tf_idf(index: &InvertedIndex, token: TokenId) -> f64 {
+    index
+        .postings(token)
+        .iter()
+        .map(|p| {
+            let tf = p.positions.len() as f64;
+            (1.0 + tf.ln()) * idf(index, token)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`), usually 1.2–2.0.
+    pub k1: f64,
+    /// Length normalization (`b`), usually 0.75.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Okapi BM25 score of `token` in `doc`.
+pub fn bm25(index: &InvertedIndex, token: TokenId, doc: DocId, params: Bm25Params) -> f64 {
+    let tf = f64::from(index.tf_in_doc(token, doc));
+    if tf == 0.0 {
+        return 0.0;
+    }
+    let n = index.doc_count() as f64;
+    let df = index.doc_freq(token) as f64;
+    // Okapi IDF with +1 smoothing so common tokens never go negative.
+    let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+    let dl = f64::from(index.doc_len(doc));
+    let avg = index.avg_doc_len().max(1e-9);
+    let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avg);
+    idf * tf * (params.k1 + 1.0) / denom
+}
+
+/// Corpus-level Okapi score of a token: max over documents (the BIOTEX
+/// convention, mirroring [`max_tf_idf`]).
+pub fn max_bm25(index: &InvertedIndex, token: TokenId, params: Bm25Params) -> f64 {
+    index
+        .postings(token)
+        .iter()
+        .map(|p| bm25(index, token, p.doc, params))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use boe_textkit::Language;
+
+    fn setup() -> (crate::Corpus, InvertedIndex) {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("cornea cornea cornea injury");
+        b.add_text("injury repair");
+        b.add_text("repair repair process");
+        let c = b.build();
+        let ix = InvertedIndex::build(&c);
+        (c, ix)
+    }
+
+    #[test]
+    fn idf_decreases_with_df() {
+        let (c, ix) = setup();
+        let cornea = c.vocab().get("cornea").expect("id"); // df 1
+        let injury = c.vocab().get("injury").expect("id"); // df 2
+        assert!(idf(&ix, cornea) > idf(&ix, injury));
+    }
+
+    #[test]
+    fn tf_idf_zero_when_absent() {
+        let (c, ix) = setup();
+        let cornea = c.vocab().get("cornea").expect("id");
+        assert_eq!(tf_idf(&ix, cornea, DocId(1)), 0.0);
+        assert!(tf_idf(&ix, cornea, DocId(0)) > 0.0);
+    }
+
+    #[test]
+    fn max_tf_idf_matches_best_doc() {
+        let (c, ix) = setup();
+        let repair = c.vocab().get("repair").expect("id");
+        let best = tf_idf(&ix, repair, DocId(2));
+        assert!((max_tf_idf(&ix, repair) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bm25_is_positive_and_saturating() {
+        // Both tokens have df = 1 so the score ratio isolates the tf
+        // saturation: tf = 3 must score more than tf = 1 but less than 3x.
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("cornea cornea cornea stroma");
+        b.add_text("filler filler filler filler");
+        let c = b.build();
+        let ix = InvertedIndex::build(&c);
+        let cornea = c.vocab().get("cornea").expect("id");
+        let stroma = c.vocab().get("stroma").expect("id");
+        let p = Bm25Params::default();
+        let s3 = bm25(&ix, cornea, DocId(0), p);
+        let s1 = bm25(&ix, stroma, DocId(0), p);
+        assert!(s3 > 0.0 && s1 > 0.0);
+        assert!(s3 > s1);
+        assert!(s3 < 3.0 * s1, "not saturating: {s3} vs {s1}");
+    }
+
+    #[test]
+    fn bm25_zero_when_absent() {
+        let (c, ix) = setup();
+        let cornea = c.vocab().get("cornea").expect("id");
+        assert_eq!(bm25(&ix, cornea, DocId(2), Bm25Params::default()), 0.0);
+    }
+
+    #[test]
+    fn max_bm25_nonnegative_for_ubiquitous_terms() {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("common word");
+        b.add_text("common word");
+        let c = b.build();
+        let ix = InvertedIndex::build(&c);
+        let common = c.vocab().get("common").expect("id");
+        assert!(max_bm25(&ix, common, Bm25Params::default()) >= 0.0);
+    }
+}

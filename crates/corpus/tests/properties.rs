@@ -1,0 +1,132 @@
+//! Property tests for the corpus/IR substrate.
+
+use boe_corpus::context::{contexts, find_occurrences, ContextOptions, ContextScope};
+use boe_corpus::corpus::CorpusBuilder;
+use boe_corpus::index::InvertedIndex;
+use boe_corpus::stats::CoocCounts;
+use boe_corpus::weighting::{bm25, idf, Bm25Params};
+use boe_corpus::Corpus;
+use boe_textkit::Language;
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        "[a-z]{2,8}( [a-z]{2,8}){0,8}\\.( [a-z]{2,8}( [a-z]{2,8}){0,6}\\.)?",
+        1..6,
+    )
+}
+
+fn build(texts: &[String]) -> Corpus {
+    let mut b = CorpusBuilder::new(Language::English);
+    for t in texts {
+        b.add_text(t);
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn index_frequencies_are_consistent(texts in corpus_strategy()) {
+        let c = build(&texts);
+        let ix = InvertedIndex::build(&c);
+        // Sum of per-token corpus frequencies equals total token count.
+        let total: u64 = ix.tokens().iter().map(|&t| ix.term_freq(t)).sum();
+        prop_assert_eq!(total as usize, c.token_count());
+        for t in ix.tokens() {
+            let df = ix.doc_freq(t);
+            prop_assert!(df >= 1);
+            prop_assert!(df <= c.len());
+            prop_assert!(ix.term_freq(t) >= df as u64);
+            // Postings tf sums to term_freq.
+            let tf_sum: u64 = ix
+                .postings(t)
+                .iter()
+                .map(|p| p.positions.len() as u64)
+                .sum();
+            prop_assert_eq!(tf_sum, ix.term_freq(t));
+        }
+    }
+
+    #[test]
+    fn single_token_phrase_matches_agree_with_occurrences(texts in corpus_strategy()) {
+        let c = build(&texts);
+        let ix = InvertedIndex::build(&c);
+        for t in ix.tokens().into_iter().take(10) {
+            let phrase = [t];
+            let total_phrase: u32 = ix.phrase_matches(&phrase).iter().map(|&(_, n)| n).sum();
+            let occs = find_occurrences(&c, &phrase);
+            prop_assert_eq!(total_phrase as usize, occs.len());
+        }
+    }
+
+    #[test]
+    fn cooccurrence_is_symmetric_and_bounded(texts in corpus_strategy(), window in 1usize..6) {
+        let c = build(&texts);
+        let cc = CoocCounts::from_corpus(&c, window);
+        for ((a, b), n) in cc.iter_pairs().into_iter().take(50) {
+            prop_assert_eq!(cc.pair(a, b), n);
+            prop_assert_eq!(cc.pair(b, a), n);
+            prop_assert!(n >= 1);
+            // A pair cannot co-occur more often than its rarer member
+            // occurs (times window, loose bound: just occurrences × window).
+            let ca = cc.occurrences(a);
+            let cb = cc.occurrences(b);
+            prop_assert!(n <= ca.max(1) * window as u32 + cb.max(1) * window as u32);
+        }
+    }
+
+    #[test]
+    fn idf_and_bm25_are_finite_nonnegative(texts in corpus_strategy()) {
+        let c = build(&texts);
+        let ix = InvertedIndex::build(&c);
+        for t in ix.tokens().into_iter().take(20) {
+            prop_assert!(idf(&ix, t) > 0.0);
+            for doc in c.docs().iter().take(3) {
+                let s = bm25(&ix, t, doc.id, Bm25Params::default());
+                prop_assert!(s.is_finite());
+                prop_assert!(s >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn context_vectors_are_nonnegative_counts(texts in corpus_strategy()) {
+        let c = build(&texts);
+        let ix = InvertedIndex::build(&c);
+        for scope in [ContextScope::Sentence, ContextScope::Document] {
+            let opts = ContextOptions {
+                window: None,
+                stemmed: false,
+                scope,
+            };
+            for t in ix.tokens().into_iter().take(5) {
+                for v in contexts(&c, &[t], opts, None) {
+                    for (_, x) in v.iter() {
+                        prop_assert!(x >= 1.0);
+                        prop_assert_eq!(x.fract(), 0.0, "counts are integral");
+                    }
+                    // The term itself is excluded from its own context at
+                    // sentence scope only if it occurs once there; at any
+                    // scope the vector must stay finite.
+                    prop_assert!(v.norm().is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn document_contexts_dominate_sentence_contexts(texts in corpus_strategy()) {
+        let c = build(&texts);
+        let ix = InvertedIndex::build(&c);
+        for t in ix.tokens().into_iter().take(5) {
+            let s_opts = ContextOptions { window: None, stemmed: false, scope: ContextScope::Sentence };
+            let d_opts = ContextOptions { window: None, stemmed: false, scope: ContextScope::Document };
+            let s_ctx = contexts(&c, &[t], s_opts, None);
+            let d_ctx = contexts(&c, &[t], d_opts, None);
+            prop_assert_eq!(s_ctx.len(), d_ctx.len());
+            for (s, d) in s_ctx.iter().zip(&d_ctx) {
+                prop_assert!(d.sum() >= s.sum(), "document scope must not shrink context");
+            }
+        }
+    }
+}

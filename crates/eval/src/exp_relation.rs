@@ -1,0 +1,190 @@
+//! Experiment E7 — the paper's future-work extension (§4): relation
+//! typing from linking verbs.
+//!
+//! "A perspective of this work is to extract the type of relations …
+//! performed with the linguistic patterns (e.g. the verbs used between
+//! two terms)". We measure how accurately the verb-pattern extractor
+//! recovers planted relations: term pairs are written about with verbs
+//! drawn from one relation family, plus distractor sentences.
+
+use crate::table::{f3, Table};
+use boe_core::relation::{extract_relation, RelationType};
+use boe_corpus::corpus::CorpusBuilder;
+use boe_corpus::Corpus;
+use boe_textkit::Language;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RelationExpConfig {
+    /// Term pairs per relation type.
+    pub pairs_per_type: usize,
+    /// Evidence sentences per pair.
+    pub sentences_per_pair: usize,
+    /// Probability of an off-type distractor verb per extra sentence.
+    pub distractor_prob: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RelationExpConfig {
+    fn default() -> Self {
+        RelationExpConfig {
+            pairs_per_type: 25,
+            sentences_per_pair: 4,
+            distractor_prob: 0.25,
+            seed: 0x7E1A,
+        }
+    }
+}
+
+const CAUSAL_VERBS: &[&str] = &["causes", "caused", "induces", "induced"];
+const TREATMENT_VERBS: &[&str] = &["treats", "treated", "heals", "cures"];
+const TAXONOMIC_VERBS: &[&str] = &["is", "are", "remains"];
+const ASSOCIATION_VERBS: &[&str] = &["involves", "affects", "suggests", "indicates"];
+
+fn verbs_of(r: RelationType) -> &'static [&'static str] {
+    match r {
+        RelationType::Causal => CAUSAL_VERBS,
+        RelationType::Treatment => TREATMENT_VERBS,
+        RelationType::Taxonomic => TAXONOMIC_VERBS,
+        RelationType::Association => ASSOCIATION_VERBS,
+        RelationType::Unknown => &[],
+    }
+}
+
+/// The planted relation types.
+pub const TYPES: [RelationType; 4] = [
+    RelationType::Causal,
+    RelationType::Treatment,
+    RelationType::Taxonomic,
+    RelationType::Association,
+];
+
+/// The generated dataset: corpus + (term a, term b, gold type).
+pub fn generate(config: &RelationExpConfig) -> (Corpus, Vec<(String, String, RelationType)>) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = CorpusBuilder::new(Language::English);
+    let mut pairs = Vec::new();
+    for (ti, &rtype) in TYPES.iter().enumerate() {
+        for p in 0..config.pairs_per_type {
+            let a = format!("relterm{ti}x{p}a");
+            let b = format!("relterm{ti}x{p}b");
+            let gold_verbs = verbs_of(rtype);
+            for s in 0..config.sentences_per_pair {
+                // The first sentence always carries an on-type verb; later
+                // sentences may use a distractor from another family.
+                let verb = if s > 0 && rng.gen_bool(config.distractor_prob) {
+                    let other = TYPES[(ti + 1 + rng.gen_range(0..3)) % 4];
+                    verbs_of(other)[rng.gen_range(0..verbs_of(other).len())]
+                } else {
+                    gold_verbs[rng.gen_range(0..gold_verbs.len())]
+                };
+                builder.add_text(&format!("the {a} {verb} the {b} in tissue."));
+            }
+            pairs.push((a, b, rtype));
+        }
+    }
+    (builder.build(), pairs)
+}
+
+/// Per-type accuracy plus overall.
+#[derive(Debug, Clone)]
+pub struct RelationResult {
+    /// `(type, correct, total)` per planted type.
+    pub per_type: Vec<(RelationType, usize, usize)>,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+/// Run E7.
+pub fn run(config: &RelationExpConfig) -> RelationResult {
+    let (corpus, pairs) = generate(config);
+    let mut per_type: Vec<(RelationType, usize, usize)> =
+        TYPES.iter().map(|&t| (t, 0, 0)).collect();
+    let mut correct_total = 0usize;
+    for (a, b, gold) in &pairs {
+        let ta = corpus.phrase_ids(a).expect("interned");
+        let tb = corpus.phrase_ids(b).expect("interned");
+        let predicted = extract_relation(&corpus, &ta, &tb)
+            .map(|ev| ev.relation)
+            .unwrap_or(RelationType::Unknown);
+        let slot = per_type
+            .iter_mut()
+            .find(|(t, _, _)| t == gold)
+            .expect("gold type listed");
+        slot.2 += 1;
+        if predicted == *gold {
+            slot.1 += 1;
+            correct_total += 1;
+        }
+    }
+    RelationResult {
+        per_type,
+        accuracy: correct_total as f64 / pairs.len() as f64,
+    }
+}
+
+/// Render the per-type accuracy table.
+pub fn render(result: &RelationResult) -> String {
+    let mut t = Table::new(&["relation", "correct", "total", "accuracy"]);
+    for (rtype, correct, total) in &result.per_type {
+        t.row(vec![
+            rtype.name().to_owned(),
+            correct.to_string(),
+            total.to_string(),
+            f3(*correct as f64 / (*total).max(1) as f64),
+        ]);
+    }
+    format!(
+        "E7 (future work): relation typing from linking verbs\n{}overall accuracy: {}\n",
+        t.render(),
+        f3(result.accuracy)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_recovers_planted_relations() {
+        let r = run(&RelationExpConfig::default());
+        assert!(r.accuracy > 0.8, "accuracy {}", r.accuracy);
+        for (t, correct, total) in &r.per_type {
+            assert_eq!(*total, 25);
+            assert!(
+                *correct as f64 / *total as f64 > 0.6,
+                "{}: {correct}/{total}",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn distractors_hurt_but_do_not_destroy() {
+        let clean = run(&RelationExpConfig {
+            distractor_prob: 0.0,
+            ..Default::default()
+        });
+        let noisy = run(&RelationExpConfig {
+            distractor_prob: 0.45,
+            ..Default::default()
+        });
+        assert!(clean.accuracy >= noisy.accuracy);
+        assert!(clean.accuracy > 0.95, "clean accuracy {}", clean.accuracy);
+    }
+
+    #[test]
+    fn render_lists_all_types() {
+        let r = run(&RelationExpConfig {
+            pairs_per_type: 4,
+            ..Default::default()
+        });
+        let s = render(&r);
+        for t in TYPES {
+            assert!(s.contains(t.name()), "missing {}", t.name());
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Experiment E3 — §3(i): prediction of the sense number.
+//!
+//! The paper clusters each MSH-WSD entity's contexts for k ∈ \[2,5\] with
+//! five CLUTO algorithms under two corpus representations, scores each k
+//! with the Table-2 indexes, and reports accuracy of the predicted k
+//! (best: 93.1% with max(f_k)). This experiment regenerates the full
+//! accuracy matrix on the MSH-WSD-like dataset, plus the majority-k=2
+//! baseline the skewed sense distribution implies.
+
+use crate::table::{pct, Table};
+use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
+use boe_corpus::context::{ContextScope, StemMap};
+use boe_corpus::synth::mshwsd::{MshWsdConfig, MshWsdDataset};
+use boe_corpus::SparseVector;
+use boe_core::senses::{build_representation, Representation};
+use boe_textkit::Language;
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct SenseNumberConfig {
+    /// MSH-WSD-like generator parameters.
+    pub dataset: MshWsdConfig,
+    /// Cap on contexts per entity (keeps agglo/graph tractable; MSH WSD
+    /// itself has ~100 per sense).
+    pub max_contexts: usize,
+    /// Algorithms to sweep.
+    pub algorithms: Vec<Algorithm>,
+    /// Representations to sweep.
+    pub representations: Vec<Representation>,
+    /// Indexes to evaluate.
+    pub indexes: Vec<InternalIndex>,
+    /// Clustering seed.
+    pub seed: u64,
+}
+
+impl Default for SenseNumberConfig {
+    fn default() -> Self {
+        SenseNumberConfig {
+            dataset: MshWsdConfig::default(),
+            max_contexts: 120,
+            algorithms: Algorithm::ALL.to_vec(),
+            representations: Representation::ALL.to_vec(),
+            indexes: InternalIndex::ALL.to_vec(),
+            seed: 7,
+        }
+    }
+}
+
+impl SenseNumberConfig {
+    /// A scaled-down configuration that finishes quickly in debug builds.
+    pub fn quick() -> Self {
+        SenseNumberConfig {
+            dataset: MshWsdConfig {
+                n_entities: 24,
+                snippets_per_sense: 25,
+                ..Default::default()
+            },
+            max_contexts: 60,
+            algorithms: vec![Algorithm::Direct, Algorithm::Rbr],
+            representations: Representation::ALL.to_vec(),
+            indexes: InternalIndex::ALL.to_vec(),
+            seed: 7,
+        }
+    }
+}
+
+/// One cell of the accuracy matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCell {
+    /// Clustering algorithm.
+    pub algorithm: Algorithm,
+    /// Corpus representation.
+    pub representation: Representation,
+    /// Internal index.
+    pub index: InternalIndex,
+    /// Fraction of entities whose k was predicted exactly.
+    pub accuracy: f64,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct SenseNumberResult {
+    /// Every (algorithm × representation × index) cell.
+    pub cells: Vec<AccuracyCell>,
+    /// Accuracy of always predicting k = 2 (the skew baseline).
+    pub majority_baseline: f64,
+    /// Number of entities evaluated.
+    pub n_entities: usize,
+}
+
+impl SenseNumberResult {
+    /// The best cell.
+    pub fn best(&self) -> &AccuracyCell {
+        self.cells
+            .iter()
+            .max_by(|a, b| {
+                a.accuracy
+                    .partial_cmp(&b.accuracy)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty matrix")
+    }
+
+    /// Best accuracy for one index across algorithms/representations.
+    pub fn best_for_index(&self, index: InternalIndex) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.index == index)
+            .map(|c| c.accuracy)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run the experiment.
+pub fn run(config: &SenseNumberConfig) -> SenseNumberResult {
+    let data = MshWsdDataset::generate(Language::English, &config.dataset);
+    let stems = StemMap::build(&data.corpus);
+    let n = data.entities.len();
+    let majority = data.entities.iter().filter(|e| e.k == 2).count() as f64 / n as f64;
+
+    // Per entity × representation: context vectors (built once).
+    let mut correct: std::collections::HashMap<(usize, usize, usize), usize> =
+        std::collections::HashMap::new();
+    for entity in &data.entities {
+        let surface_id = data
+            .corpus
+            .vocab()
+            .get(entity.surface_text())
+            .expect("entity surface interned");
+        for (ri, &repr) in config.representations.iter().enumerate() {
+            let all = build_representation(
+                &data.corpus,
+                &[surface_id],
+                repr,
+                &stems,
+                ContextScope::Document,
+            );
+            // Subsample with an even stride: contexts arrive grouped by
+            // sense, so plain truncation would drop whole senses.
+            let ctxs: Vec<SparseVector> = if all.len() > config.max_contexts {
+                let stride = all.len() as f64 / config.max_contexts as f64;
+                (0..config.max_contexts)
+                    .map(|i| all[(i as f64 * stride) as usize].clone())
+                    .collect()
+            } else {
+                all
+            };
+            if ctxs.len() < 2 {
+                continue;
+            }
+            let unit: Vec<SparseVector> = ctxs.iter().map(SparseVector::normalized).collect();
+            for (ai, &alg) in config.algorithms.iter().enumerate() {
+                // Cluster once per k; score every index on the same
+                // solutions.
+                let hi = 5usize.min(ctxs.len());
+                let solutions: Vec<(usize, ClusterSolution)> = (2..=hi)
+                    .map(|k| (k, alg.cluster(&ctxs, k, config.seed ^ k as u64)))
+                    .collect();
+                for (ii, &index) in config.indexes.iter().enumerate() {
+                    let mut best_k = 2;
+                    let mut best_s = if index.maximize() {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    };
+                    for (k, sol) in &solutions {
+                        let s = index.score(sol, &unit);
+                        let better = if index.maximize() { s > best_s } else { s < best_s };
+                        if better {
+                            best_s = s;
+                            best_k = *k;
+                        }
+                    }
+                    if best_k == entity.k {
+                        *correct.entry((ai, ri, ii)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut cells = Vec::new();
+    for (ai, &alg) in config.algorithms.iter().enumerate() {
+        for (ri, &repr) in config.representations.iter().enumerate() {
+            for (ii, &index) in config.indexes.iter().enumerate() {
+                let c = correct.get(&(ai, ri, ii)).copied().unwrap_or(0);
+                cells.push(AccuracyCell {
+                    algorithm: alg,
+                    representation: repr,
+                    index,
+                    accuracy: c as f64 / n as f64,
+                });
+            }
+        }
+    }
+    SenseNumberResult {
+        cells,
+        majority_baseline: majority,
+        n_entities: n,
+    }
+}
+
+/// External clustering quality at the *gold* k: how well do the produced
+/// clusters match the gold senses? Reports mean purity / NMI / adjusted
+/// Rand over all entities for one algorithm × representation (sanity
+/// check of the clustering substrate; uses `boe_cluster::external`).
+pub fn clustering_quality(
+    config: &SenseNumberConfig,
+    algorithm: Algorithm,
+    representation: Representation,
+) -> (f64, f64, f64) {
+    let data = MshWsdDataset::generate(Language::English, &config.dataset);
+    let stems = StemMap::build(&data.corpus);
+    let mut sums = (0.0, 0.0, 0.0);
+    let mut n = 0usize;
+    for entity in &data.entities {
+        let surface_id = data
+            .corpus
+            .vocab()
+            .get(entity.surface_text())
+            .expect("entity surface interned");
+        let all = build_representation(
+            &data.corpus,
+            &[surface_id],
+            representation,
+            &stems,
+            ContextScope::Document,
+        );
+        // Contexts arrive in snippet order, so gold sense labels align
+        // index-wise; subsample both with the same even stride.
+        assert_eq!(all.len(), entity.snippets.len(), "one context per snippet");
+        let gold_all: Vec<usize> = entity.snippets.iter().map(|&(_, s)| s).collect();
+        let (ctxs, gold): (Vec<SparseVector>, Vec<usize>) = if all.len() > config.max_contexts {
+            let stride = all.len() as f64 / config.max_contexts as f64;
+            (0..config.max_contexts)
+                .map(|i| {
+                    let j = (i as f64 * stride) as usize;
+                    (all[j].clone(), gold_all[j])
+                })
+                .unzip()
+        } else {
+            (all, gold_all)
+        };
+        if ctxs.len() < entity.k {
+            continue;
+        }
+        let sol = algorithm.cluster(&ctxs, entity.k, config.seed);
+        sums.0 += boe_cluster::external::purity(&sol, &gold);
+        sums.1 += boe_cluster::external::nmi(&sol, &gold);
+        sums.2 += boe_cluster::external::adjusted_rand(&sol, &gold);
+        n += 1;
+    }
+    let nf = n.max(1) as f64;
+    (sums.0 / nf, sums.1 / nf, sums.2 / nf)
+}
+
+/// Render the accuracy matrix (rows: algorithm × representation, columns:
+/// indexes).
+pub fn render(config: &SenseNumberConfig, result: &SenseNumberResult) -> String {
+    let mut header: Vec<String> = vec!["algorithm".into(), "repr".into()];
+    header.extend(config.indexes.iter().map(|i| i.name().to_owned()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for &alg in &config.algorithms {
+        for &repr in &config.representations {
+            let mut row = vec![alg.name().to_owned(), repr.name().to_owned()];
+            for &index in &config.indexes {
+                let cell = result
+                    .cells
+                    .iter()
+                    .find(|c| c.algorithm == alg && c.representation == repr && c.index == index)
+                    .expect("cell exists");
+                row.push(pct(cell.accuracy));
+            }
+            t.row(row);
+        }
+    }
+    let best = result.best();
+    format!(
+        "Sense-number prediction accuracy over {} entities (paper: 93.1% with max(fk))\n{}\nmajority (always k=2) baseline: {}\nbest: {} with {} / {} / {}\n",
+        result.n_entities,
+        t.render(),
+        pct(result.majority_baseline),
+        pct(best.accuracy),
+        best.index.name(),
+        best.algorithm.name(),
+        best.representation.name(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (SenseNumberConfig, SenseNumberResult) {
+        let cfg = SenseNumberConfig {
+            dataset: MshWsdConfig {
+                n_entities: 10,
+                snippets_per_sense: 12,
+                ..Default::default()
+            },
+            max_contexts: 40,
+            algorithms: vec![Algorithm::Direct],
+            representations: vec![Representation::BagOfWords],
+            indexes: vec![InternalIndex::Ek, InternalIndex::Fk],
+            seed: 3,
+        };
+        let res = run(&cfg);
+        (cfg, res)
+    }
+
+    #[test]
+    fn matrix_is_complete_and_bounded() {
+        let (cfg, res) = tiny();
+        assert_eq!(
+            res.cells.len(),
+            cfg.algorithms.len() * cfg.representations.len() * cfg.indexes.len()
+        );
+        for c in &res.cells {
+            assert!((0.0..=1.0).contains(&c.accuracy));
+        }
+        assert_eq!(res.n_entities, 10);
+    }
+
+    #[test]
+    fn ek_beats_majority_baseline() {
+        let (_, res) = tiny();
+        let ek = res.best_for_index(InternalIndex::Ek);
+        assert!(
+            ek >= res.majority_baseline,
+            "ek {} < baseline {}",
+            ek,
+            res.majority_baseline
+        );
+        assert!(ek > 0.7, "ek accuracy {ek}");
+    }
+
+    #[test]
+    fn clustering_quality_is_high_at_gold_k() {
+        let cfg = SenseNumberConfig {
+            dataset: MshWsdConfig {
+                n_entities: 8,
+                snippets_per_sense: 15,
+                ..Default::default()
+            },
+            max_contexts: 40,
+            algorithms: vec![Algorithm::Direct],
+            representations: vec![Representation::BagOfWords],
+            indexes: vec![InternalIndex::Ek],
+            seed: 3,
+        };
+        let (purity, nmi, ari) = clustering_quality(&cfg, Algorithm::Direct, Representation::BagOfWords);
+        assert!(purity > 0.85, "purity {purity}");
+        assert!(nmi > 0.7, "nmi {nmi}");
+        assert!(ari > 0.7, "ari {ari}");
+    }
+
+    #[test]
+    fn render_mentions_best_cell() {
+        let (cfg, res) = tiny();
+        let s = render(&cfg, &res);
+        assert!(s.contains("majority"));
+        assert!(s.contains("direct"));
+        assert!(s.contains("max(ek)"));
+    }
+}

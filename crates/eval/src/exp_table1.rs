@@ -1,0 +1,124 @@
+//! Experiment E1 — **Table 1**: polysemic-term statistics of UMLS and
+//! MeSH for EN/FR/ES.
+//!
+//! The real releases are licensed; the generators are calibrated to the
+//! paper's published counts and this experiment verifies that the
+//! statistics machinery regenerates them exactly (and that the shape —
+//! sharp decay in k, EN ≫ ES ≫ FR, ≈1/200 polysemy ratio in English
+//! UMLS — holds).
+
+use crate::table::Table;
+use boe_ontology::polysemy::PolysemyStats;
+use boe_ontology::synth::umls::{PolysemyProfile, UmlsGenerator};
+use boe_textkit::Language;
+
+/// One source's row block: counts per k for each language.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Block {
+    /// "UMLS" or "MeSH".
+    pub source: &'static str,
+    /// Rows `[k2, k3, k4, k5+]` per language (EN, FR, ES).
+    pub rows: [[usize; 4]; 3],
+    /// English polysemic ratio (the paper's "1 in 200" remark).
+    pub en_ratio: f64,
+}
+
+/// Run E1: generate UMLS-like (scaled by `umls_divisor`) and MeSH-like
+/// terminologies per language, compute [`PolysemyStats`], return both
+/// blocks.
+pub fn run(umls_divisor: usize) -> (Table1Block, Table1Block) {
+    let mut umls_rows = [[0usize; 4]; 3];
+    let mut en_ratio = 0.0;
+    for (i, lang) in Language::ALL.iter().enumerate() {
+        let profile = PolysemyProfile::umls(*lang, umls_divisor);
+        let onto = UmlsGenerator::new(*lang, profile).generate();
+        let stats = PolysemyStats::compute(&onto);
+        umls_rows[i] = stats.table1_row();
+        if *lang == Language::English {
+            en_ratio = stats.polysemic_ratio();
+        }
+    }
+    let mut mesh_rows = [[0usize; 4]; 3];
+    for (i, lang) in Language::ALL.iter().enumerate() {
+        let profile = PolysemyProfile::mesh(*lang);
+        let onto = UmlsGenerator::new(*lang, profile).generate();
+        let stats = PolysemyStats::compute(&onto);
+        mesh_rows[i] = stats.table1_row();
+    }
+    (
+        Table1Block {
+            source: "UMLS",
+            rows: umls_rows,
+            en_ratio,
+        },
+        Table1Block {
+            source: "MeSH",
+            rows: mesh_rows,
+            en_ratio: 0.0,
+        },
+    )
+}
+
+/// Render both blocks in the paper's layout.
+pub fn render(umls: &Table1Block, mesh: &Table1Block) -> String {
+    let mut t = Table::new(&["# senses k", "UMLS EN", "UMLS FR", "UMLS ES", "MeSH EN", "MeSH FR", "MeSH ES"]);
+    let k_names = ["2", "3", "4", "5+"];
+    for (ki, kname) in k_names.iter().enumerate() {
+        t.row(vec![
+            (*kname).to_owned(),
+            umls.rows[0][ki].to_string(),
+            umls.rows[1][ki].to_string(),
+            umls.rows[2][ki].to_string(),
+            mesh.rows[0][ki].to_string(),
+            mesh.rows[1][ki].to_string(),
+            mesh.rows[2][ki].to_string(),
+        ]);
+    }
+    format!(
+        "Table 1: polysemic terms in UMLS-like and MeSH-like terminologies\n{}\nEnglish UMLS polysemic ratio: 1 in {:.0}\n",
+        t.render(),
+        1.0 / umls.en_ratio.max(1e-12)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_counts_match_paper_targets() {
+        let (umls, mesh) = run(100);
+        // Paper counts / 100 (integer division).
+        assert_eq!(umls.rows[0], [542, 77, 18, 16], "UMLS EN /100");
+        assert_eq!(umls.rows[1], [12, 0, 0, 0], "UMLS FR /100");
+        assert_eq!(umls.rows[2], [109, 4, 0, 0], "UMLS ES /100");
+        assert_eq!(mesh.rows[0], [178, 1, 0, 0], "MeSH EN");
+        assert_eq!(mesh.rows[1], [11, 0, 0, 0], "MeSH FR");
+        assert_eq!(mesh.rows[2], [0, 0, 0, 0], "MeSH ES");
+    }
+
+    #[test]
+    fn shape_decays_in_k_and_en_dominates() {
+        let (umls, _) = run(100);
+        for rows in &umls.rows {
+            assert!(rows[0] >= rows[1] && rows[1] >= rows[2]);
+        }
+        assert!(umls.rows[0][0] > umls.rows[2][0]);
+        assert!(umls.rows[2][0] > umls.rows[1][0]);
+    }
+
+    #[test]
+    fn english_ratio_is_about_one_in_two_hundred() {
+        let (umls, _) = run(100);
+        let inv = 1.0 / umls.en_ratio;
+        assert!((100.0..=400.0).contains(&inv), "1 in {inv:.0}");
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let (umls, mesh) = run(200);
+        let s = render(&umls, &mesh);
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("5+"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Keyed graph builder.
+//!
+//! Co-occurrence graphs are built from interned token ids; this builder
+//! maps arbitrary `u64` keys to dense [`NodeId`]s so the graph crate stays
+//! independent of the corpus crate.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Builder that creates nodes on first sight of a key.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    graph: Graph,
+    key_to_node: HashMap<u64, NodeId>,
+    node_to_key: Vec<u64>,
+}
+
+impl GraphBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Node for `key`, created if new.
+    pub fn node(&mut self, key: u64) -> NodeId {
+        if let Some(&n) = self.key_to_node.get(&key) {
+            return n;
+        }
+        let n = self.graph.add_node();
+        self.key_to_node.insert(key, n);
+        self.node_to_key.push(key);
+        n
+    }
+
+    /// Node for `key` if it exists.
+    pub fn get(&self, key: u64) -> Option<NodeId> {
+        self.key_to_node.get(&key).copied()
+    }
+
+    /// Add (or reinforce) an edge between the nodes of two keys.
+    pub fn add_edge(&mut self, a: u64, b: u64, w: f64) {
+        if a == b {
+            return; // co-occurrence of a token with itself carries no signal
+        }
+        let na = self.node(a);
+        let nb = self.node(b);
+        self.graph.add_edge(na, nb, w);
+    }
+
+    /// The key of a node.
+    pub fn key(&self, node: NodeId) -> u64 {
+        self.node_to_key[node.index()]
+    }
+
+    /// Number of nodes so far.
+    pub fn node_count(&self) -> usize {
+        self.node_to_key.len()
+    }
+
+    /// Finish: the graph plus the node → key table.
+    pub fn build(self) -> (Graph, Vec<u64>) {
+        (self.graph, self.node_to_key)
+    }
+
+    /// Borrow the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_map_to_stable_nodes() {
+        let mut b = GraphBuilder::new();
+        let n1 = b.node(42);
+        let n2 = b.node(7);
+        assert_eq!(b.node(42), n1);
+        assert_ne!(n1, n2);
+        assert_eq!(b.key(n1), 42);
+        assert_eq!(b.node_count(), 2);
+    }
+
+    #[test]
+    fn add_edge_creates_nodes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 3, 1.0);
+        let (g, keys) = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(3.0));
+    }
+
+    #[test]
+    fn self_key_edge_is_ignored() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(5, 5, 1.0);
+        assert_eq!(b.graph().edge_count(), 0);
+    }
+
+    #[test]
+    fn get_without_creating() {
+        let mut b = GraphBuilder::new();
+        assert!(b.get(9).is_none());
+        b.node(9);
+        assert!(b.get(9).is_some());
+    }
+}

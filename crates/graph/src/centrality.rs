@@ -1,0 +1,160 @@
+//! Betweenness (Brandes) and closeness centrality.
+
+use crate::graph::{Graph, NodeId};
+use crate::paths::bfs_distances;
+use std::collections::VecDeque;
+
+/// Unweighted betweenness centrality (Brandes 2001). Scores are
+/// unnormalized pair counts; divide by `(n-1)(n-2)/2` to normalize for an
+/// undirected graph.
+pub fn betweenness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut cb = vec![0.0; n];
+    for s in g.nodes() {
+        // Single-source shortest paths with path counting.
+        let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+        let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0_f64; n];
+        let mut dist = vec![-1_i64; n];
+        sigma[s.index()] = 1.0;
+        dist[s.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &(w, _) in g.neighbours(v) {
+                if dist[w.index()] < 0 {
+                    dist[w.index()] = dist[v.index()] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w.index()] == dist[v.index()] + 1 {
+                    sigma[w.index()] += sigma[v.index()];
+                    preds[w.index()].push(v);
+                }
+            }
+        }
+        // Accumulate dependencies.
+        let mut delta = vec![0.0_f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w.index()] {
+                delta[v.index()] +=
+                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+            }
+            if w != s {
+                cb[w.index()] += delta[w.index()];
+            }
+        }
+    }
+    // Each undirected pair was counted twice.
+    for x in &mut cb {
+        *x /= 2.0;
+    }
+    cb
+}
+
+/// Closeness centrality of each node: `(reachable)/(n-1) * (reachable)/(sum
+/// of distances)` — the Wasserman–Faust formula, which handles
+/// disconnected graphs gracefully. Isolated nodes score 0.
+pub fn closeness(g: &Graph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut out = vec![0.0; n];
+    if n < 2 {
+        return out;
+    }
+    for v in g.nodes() {
+        let dists = bfs_distances(g, v);
+        let mut reach = 0.0;
+        let mut total = 0.0;
+        for (u, d) in dists.iter().enumerate() {
+            if u == v.index() {
+                continue;
+            }
+            if let Some(d) = d {
+                reach += 1.0;
+                total += f64::from(*d);
+            }
+        }
+        if total > 0.0 {
+            out[v.index()] = (reach / (n as f64 - 1.0)) * (reach / total);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId(i + 1), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn betweenness_of_path() {
+        let g = path5();
+        let cb = betweenness(&g);
+        // Middle node lies on all 2*... pairs: exact values for P5 are
+        // [0, 3, 4, 3, 0].
+        let expect = [0.0, 3.0, 4.0, 3.0, 0.0];
+        for (a, e) in cb.iter().zip(expect.iter()) {
+            assert!((a - e).abs() < 1e-9, "{cb:?}");
+        }
+    }
+
+    #[test]
+    fn betweenness_of_star_center() {
+        let mut g = Graph::with_nodes(5);
+        for i in 1..5 {
+            g.add_edge(NodeId(0), NodeId(i), 1.0);
+        }
+        let cb = betweenness(&g);
+        // Center lies on all C(4,2)=6 pairs.
+        assert!((cb[0] - 6.0).abs() < 1e-9);
+        for &leaf in &cb[1..] {
+            assert!(leaf.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn betweenness_counts_multiple_shortest_paths() {
+        // Square 0-1-2-3-0: pairs (0,2) and (1,3) each have two shortest
+        // paths, giving each intermediate node 0.5 per pair.
+        let mut g = Graph::with_nodes(4);
+        for i in 0..4u32 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 4), 1.0);
+        }
+        let cb = betweenness(&g);
+        for x in cb {
+            assert!((x - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn closeness_orders_path_nodes() {
+        let g = path5();
+        let cc = closeness(&g);
+        assert!(cc[2] > cc[1]);
+        assert!(cc[1] > cc[0]);
+        assert!((cc[0] - cc[4]).abs() < 1e-12, "symmetry");
+    }
+
+    #[test]
+    fn closeness_of_disconnected() {
+        let mut g = path5();
+        let iso = g.add_node();
+        let cc = closeness(&g);
+        assert_eq!(cc[iso.index()], 0.0);
+        assert!(cc[2] > 0.0);
+    }
+
+    #[test]
+    fn empty_graphs() {
+        assert!(betweenness(&Graph::new()).is_empty());
+        assert!(closeness(&Graph::new()).is_empty());
+        assert_eq!(closeness(&Graph::with_nodes(1)), vec![0.0]);
+    }
+}

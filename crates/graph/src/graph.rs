@@ -1,0 +1,271 @@
+//! The core undirected weighted graph.
+
+use std::fmt;
+
+/// Dense node identifier within one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An undirected weighted graph stored as adjacency lists.
+///
+/// Invariants:
+/// * no self-loops;
+/// * at most one edge per node pair (adding an existing edge accumulates
+///   its weight);
+/// * adjacency lists are kept sorted by neighbour id.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(NodeId, f64)>>,
+    n_edges: usize,
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            n_edges: 0,
+        }
+    }
+
+    /// Add one node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(u32::try_from(self.adj.len()).expect("more than u32::MAX nodes"));
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.n_edges
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterate node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Add (or reinforce) the undirected edge `a—b` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range nodes, or non-positive weight.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, w: f64) {
+        assert!(a != b, "self-loop {a}");
+        assert!(w > 0.0, "edge weight must be positive, got {w}");
+        assert!(a.index() < self.adj.len() && b.index() < self.adj.len());
+        let created = Self::insert_half(&mut self.adj[a.index()], b, w);
+        Self::insert_half(&mut self.adj[b.index()], a, w);
+        if created {
+            self.n_edges += 1;
+        }
+    }
+
+    /// Insert or accumulate; returns true if a new entry was created.
+    fn insert_half(list: &mut Vec<(NodeId, f64)>, to: NodeId, w: f64) -> bool {
+        match list.binary_search_by_key(&to, |(n, _)| *n) {
+            Ok(i) => {
+                list[i].1 += w;
+                false
+            }
+            Err(i) => {
+                list.insert(i, (to, w));
+                true
+            }
+        }
+    }
+
+    /// Neighbours of `a` with edge weights, sorted by neighbour id.
+    pub fn neighbours(&self, a: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[a.index()]
+    }
+
+    /// Degree (number of incident edges).
+    pub fn degree(&self, a: NodeId) -> usize {
+        self.adj[a.index()].len()
+    }
+
+    /// Sum of incident edge weights.
+    pub fn weighted_degree(&self, a: NodeId) -> f64 {
+        self.adj[a.index()].iter().map(|(_, w)| w).sum()
+    }
+
+    /// Weight of edge `a—b`, or `None` if absent.
+    pub fn edge_weight(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        let list = &self.adj[a.index()];
+        list.binary_search_by_key(&b, |(n, _)| *n)
+            .ok()
+            .map(|i| list[i].1)
+    }
+
+    /// Whether edge `a—b` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.edge_weight(a, b).is_some()
+    }
+
+    /// Total edge weight (each edge counted once).
+    pub fn total_weight(&self) -> f64 {
+        self.adj
+            .iter()
+            .flat_map(|l| l.iter().map(|(_, w)| w))
+            .sum::<f64>()
+            / 2.0
+    }
+
+    /// Iterate edges `(a, b, w)` once each with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, list)| {
+            let a = NodeId(i as u32);
+            list.iter()
+                .filter(move |(b, _)| a < *b)
+                .map(move |&(b, w)| (a, b, w))
+        })
+    }
+
+    /// The subgraph induced by `nodes`; returns the subgraph and the
+    /// mapping from old ids to new ids (dense, in the order given).
+    ///
+    /// # Panics
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut map = vec![None; self.adj.len()];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(
+                map[old.index()].is_none(),
+                "duplicate node {old} in induced_subgraph"
+            );
+            map[old.index()] = Some(NodeId(new as u32));
+        }
+        let mut g = Graph::with_nodes(nodes.len());
+        for &old in nodes {
+            let a = map[old.index()].expect("mapped");
+            for &(nb, w) in self.neighbours(old) {
+                if let Some(b) = map[nb.index()] {
+                    if a < b {
+                        g.add_edge(a, b, w);
+                    }
+                }
+            }
+        }
+        (g, nodes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        g.add_edge(NodeId(0), NodeId(2), 3.0);
+        g
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert!((g.weighted_degree(NodeId(0)) - 4.0).abs() < 1e-12);
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_weight_and_symmetry() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(2)), Some(3.0));
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(0)), Some(3.0));
+        assert!(!g.has_edge(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn duplicate_edge_accumulates() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(1), 2.5);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut g = Graph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_weight_panics() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_visits_each_once() {
+        let g = triangle();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es.len(), 3);
+        assert!(es.iter().all(|(a, b, _)| a < b));
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(3), 1.0);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        let nbs: Vec<u32> = g.neighbours(NodeId(0)).iter().map(|(n, _)| n.0).collect();
+        assert_eq!(nbs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle();
+        let (sub, order) = g.induced_subgraph(&[NodeId(0), NodeId(2)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.edge_weight(NodeId(0), NodeId(1)), Some(3.0));
+        assert_eq!(order, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = Graph::new();
+        assert!(g.is_empty());
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!((a.0, b.0), (0, 1));
+        assert_eq!(g.node_count(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # boe-graph
+//!
+//! Weighted-graph substrate. Step II of the workflow derives 12 of its 23
+//! polysemy features from a graph *induced from the text corpus*, and Step
+//! IV builds a term co-occurrence graph to select the MeSH neighbourhood
+//! of a candidate term. This crate provides the graph structure and the
+//! analyses those steps need:
+//!
+//! * [`graph`] — compact undirected weighted graph (adjacency lists);
+//! * [`builder`] — keyed builder mapping external ids (interned tokens) to
+//!   node ids;
+//! * [`metrics`] — degree statistics, density, clustering coefficients;
+//! * [`pagerank`] — weighted PageRank;
+//! * [`centrality`] — Brandes betweenness and closeness centrality;
+//! * [`kcore`] — k-core decomposition;
+//! * [`components`] — connected components;
+//! * [`community`] — label propagation and modularity;
+//! * [`paths`] — BFS distances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod centrality;
+pub mod community;
+pub mod components;
+pub mod graph;
+pub mod kcore;
+pub mod metrics;
+pub mod pagerank;
+pub mod paths;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, NodeId};

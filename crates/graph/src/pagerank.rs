@@ -1,0 +1,127 @@
+//! Weighted PageRank.
+
+use crate::graph::Graph;
+
+/// PageRank parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PageRankParams {
+    /// Damping factor (usually 0.85).
+    pub damping: f64,
+    /// Convergence threshold on the L1 change per iteration.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankParams {
+    fn default() -> Self {
+        PageRankParams {
+            damping: 0.85,
+            tolerance: 1e-9,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Compute weighted PageRank scores (sum to 1 over nodes). The empty graph
+/// yields an empty vector. Isolated nodes receive the teleport mass only.
+pub fn pagerank(g: &Graph, params: PageRankParams) -> Vec<f64> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut next = vec![0.0; n];
+    let wdeg: Vec<f64> = g.nodes().map(|v| g.weighted_degree(v)).collect();
+    for _ in 0..params.max_iterations {
+        let teleport = (1.0 - params.damping) / nf;
+        // Mass of dangling (isolated) nodes is redistributed uniformly.
+        let dangling: f64 = (0..n).filter(|&i| wdeg[i] == 0.0).map(|i| rank[i]).sum();
+        for x in next.iter_mut() {
+            *x = teleport + params.damping * dangling / nf;
+        }
+        for v in g.nodes() {
+            if wdeg[v.index()] == 0.0 {
+                continue;
+            }
+            let share = params.damping * rank[v.index()] / wdeg[v.index()];
+            for &(u, w) in g.neighbours(v) {
+                next[u.index()] += share * w;
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(next.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < params.tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn sums_to_one() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        let r = pagerank(&g, PageRankParams::default());
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+    }
+
+    #[test]
+    fn hub_ranks_highest() {
+        // Star: center 0 must dominate.
+        let mut g = Graph::with_nodes(6);
+        for i in 1..6 {
+            g.add_edge(NodeId(0), NodeId(i), 1.0);
+        }
+        let r = pagerank(&g, PageRankParams::default());
+        for i in 1..6 {
+            assert!(r[0] > r[i], "center {} leaf {}", r[0], r[i]);
+        }
+    }
+
+    #[test]
+    fn symmetric_graph_has_uniform_ranks() {
+        // Cycle: all equal by symmetry.
+        let mut g = Graph::with_nodes(5);
+        for i in 0..5u32 {
+            g.add_edge(NodeId(i), NodeId((i + 1) % 5), 1.0);
+        }
+        let r = pagerank(&g, PageRankParams::default());
+        for w in r.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_bias_rank() {
+        // Path 0-1, 1-2 where edge 1-2 is much heavier: 2 outranks 0.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 10.0);
+        let r = pagerank(&g, PageRankParams::default());
+        assert!(r[2] > r[0]);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert!(pagerank(&Graph::new(), PageRankParams::default()).is_empty());
+        let g = Graph::with_nodes(3);
+        let r = pagerank(&g, PageRankParams::default());
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!((r[0] - r[1]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+//! BFS distances.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Unweighted shortest-path distances from `source` to every node;
+/// `None` for unreachable nodes.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("visited");
+        for &(u, _) in g.neighbours(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest-path length between two nodes, if connected.
+pub fn distance(g: &Graph, a: NodeId, b: NodeId) -> Option<u32> {
+    bfs_distances(g, a)[b.index()]
+}
+
+/// Eccentricity of a node within its component (max distance to any
+/// reachable node).
+pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
+    bfs_distances(g, v)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        g
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path4();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(distance(&g, NodeId(0), NodeId(3)), Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = path4();
+        let iso = g.add_node();
+        assert_eq!(distance(&g, NodeId(0), iso), None);
+    }
+
+    #[test]
+    fn eccentricity_of_path_ends() {
+        let g = path4();
+        assert_eq!(eccentricity(&g, NodeId(0)), 3);
+        assert_eq!(eccentricity(&g, NodeId(1)), 2);
+    }
+
+    #[test]
+    fn isolated_node_has_zero_eccentricity() {
+        let g = Graph::with_nodes(1);
+        assert_eq!(eccentricity(&g, NodeId(0)), 0);
+    }
+}

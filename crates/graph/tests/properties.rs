@@ -1,0 +1,100 @@
+//! Property tests for the graph substrate.
+
+use boe_graph::centrality::{betweenness, closeness};
+use boe_graph::community::{community_count, label_propagation, modularity};
+use boe_graph::components::connected_components;
+use boe_graph::kcore::core_numbers;
+use boe_graph::metrics::{density, local_clustering};
+use boe_graph::pagerank::{pagerank, PageRankParams};
+use boe_graph::paths::bfs_distances;
+use boe_graph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..14, proptest::collection::vec((0u32..14, 0u32..14, 0.1f64..3.0), 0..40)).prop_map(
+        |(n, edges)| {
+            let mut g = Graph::with_nodes(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a % n as u32, b % n as u32);
+                if a != b {
+                    g.add_edge(NodeId(a), NodeId(b), w);
+                }
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn pagerank_is_a_distribution(g in graph_strategy()) {
+        let r = pagerank(&g, PageRankParams::default());
+        prop_assert_eq!(r.len(), g.node_count());
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        prop_assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn components_agree_with_bfs(g in graph_strategy()) {
+        let comps = connected_components(&g);
+        for v in g.nodes() {
+            let dists = bfs_distances(&g, v);
+            for u in g.nodes() {
+                let same_component = comps.labels[v.index()] == comps.labels[u.index()];
+                prop_assert_eq!(dists[u.index()].is_some(), same_component);
+            }
+        }
+        prop_assert_eq!(comps.sizes().iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degree(g in graph_strategy()) {
+        let cores = core_numbers(&g);
+        for v in g.nodes() {
+            prop_assert!(cores[v.index()] as usize <= g.degree(v));
+        }
+    }
+
+    #[test]
+    fn centralities_are_nonnegative(g in graph_strategy()) {
+        prop_assert!(betweenness(&g).iter().all(|&x| x >= -1e-9));
+        let cc = closeness(&g);
+        prop_assert!(cc.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+    }
+
+    #[test]
+    fn clustering_and_density_in_unit_interval(g in graph_strategy()) {
+        prop_assert!((0.0..=1.0).contains(&density(&g)));
+        for v in g.nodes() {
+            let c = local_clustering(&g, v);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        }
+    }
+
+    #[test]
+    fn label_propagation_yields_valid_partition(g in graph_strategy()) {
+        let labels = label_propagation(&g, 30);
+        prop_assert_eq!(labels.len(), g.node_count());
+        let k = community_count(&labels);
+        prop_assert!(k >= 1 && k <= g.node_count());
+        // Modularity is bounded in [-1, 1].
+        let q = modularity(&g, &labels);
+        prop_assert!((-1.0..=1.0).contains(&q), "q = {q}");
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edge_weights(g in graph_strategy()) {
+        let keep: Vec<NodeId> = g.nodes().filter(|n| n.0 % 2 == 0).collect();
+        let (sub, order) = g.induced_subgraph(&keep);
+        prop_assert_eq!(sub.node_count(), keep.len());
+        for (new_a, &old_a) in order.iter().enumerate() {
+            for (new_b, &old_b) in order.iter().enumerate().skip(new_a + 1) {
+                prop_assert_eq!(
+                    sub.edge_weight(NodeId(new_a as u32), NodeId(new_b as u32)),
+                    g.edge_weight(old_a, old_b)
+                );
+            }
+        }
+    }
+}

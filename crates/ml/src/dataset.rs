@@ -1,0 +1,127 @@
+//! Dense datasets for binary classification.
+
+/// A dense dataset: row-major features plus binary labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<bool>,
+    n_features: usize,
+}
+
+impl Dataset {
+    /// Build from rows and labels.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or ragged rows.
+    pub fn new(features: Vec<Vec<f64>>, labels: Vec<bool>) -> Self {
+        assert_eq!(features.len(), labels.len(), "rows/labels mismatch");
+        let n_features = features.first().map(Vec::len).unwrap_or(0);
+        for (i, row) in features.iter().enumerate() {
+            assert_eq!(row.len(), n_features, "ragged row {i}");
+            assert!(
+                row.iter().all(|v| v.is_finite()),
+                "non-finite feature in row {i}"
+            );
+        }
+        Dataset {
+            features,
+            labels,
+            n_features,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Count of positive labels.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// The sub-dataset selected by `indices` (cloned rows).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            n_features: self.n_features,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![true, false]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert!(d.label(0));
+        assert_eq!(d.positives(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn label_mismatch_panics() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_feature_panics() {
+        let _ = Dataset::new(vec![vec![f64::NAN]], vec![true]);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![false, true, false],
+        );
+        let s = d.subset(&[2, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[2.0]);
+        assert!(s.label(1));
+    }
+}

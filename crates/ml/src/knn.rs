@@ -1,0 +1,112 @@
+//! k-nearest-neighbour classification (Euclidean).
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+
+/// kNN classifier (stores the training set).
+#[derive(Debug, Clone)]
+pub struct KNearest {
+    /// Number of neighbours.
+    pub k: usize,
+    train: Option<Dataset>,
+}
+
+impl KNearest {
+    /// New classifier with `k` neighbours.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be positive");
+        KNearest { k, train: None }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for KNearest {
+    fn fit(&mut self, train: &Dataset) {
+        self.train = Some(train.clone());
+    }
+
+    fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        let Some(train) = &self.train else {
+            return 0.0;
+        };
+        if train.is_empty() {
+            return 0.0;
+        }
+        let mut dists: Vec<(f64, bool)> = (0..train.len())
+            .map(|i| (sq_dist(train.row(i), row), train.label(i)))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let k = self.k.min(dists.len());
+        let pos = dists[..k].iter().filter(|(_, l)| *l).count();
+        pos as f64 / k as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "k-nearest-neighbours"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let j = (i % 3) as f64 * 0.1;
+            rows.push(vec![0.0 + j, 0.0 - j]);
+            labels.push(false);
+            rows.push(vec![5.0 - j, 5.0 + j]);
+            labels.push(true);
+        }
+        Dataset::new(rows, labels)
+    }
+
+    #[test]
+    fn classifies_blob_points() {
+        let d = blobs();
+        let mut m = KNearest::new(3);
+        m.fit(&d);
+        assert!(!m.predict(&[0.1, 0.1]));
+        assert!(m.predict(&[4.9, 5.1]));
+    }
+
+    #[test]
+    fn proba_is_neighbour_fraction() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![10.0]],
+            vec![true, true, false],
+        );
+        let mut m = KNearest::new(3);
+        m.fit(&d);
+        assert!((m.predict_proba(&[0.05]) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_clamps_to_training_size() {
+        let d = Dataset::new(vec![vec![0.0]], vec![true]);
+        let mut m = KNearest::new(10);
+        m.fit(&d);
+        assert!(m.predict(&[0.0]));
+    }
+
+    #[test]
+    fn unfitted_predicts_negative() {
+        let m = KNearest::new(1);
+        assert!(!m.predict(&[0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = KNearest::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # boe-ml
+//!
+//! Machine-learning substrate for Step II (polysemy detection). The paper
+//! trains "several machine learning algorithms" on 23 features and
+//! reports a 98% F-measure; this crate provides the from-scratch
+//! classifiers and evaluation machinery for that experiment:
+//!
+//! * [`dataset`] — dense feature matrices with binary labels;
+//! * [`scale`] — feature standardization;
+//! * [`model`] — the [`model::Classifier`] trait;
+//! * [`boost`] — AdaBoost over decision stumps;
+//! * [`logreg`] — logistic regression (batch gradient descent);
+//! * [`naive_bayes`] — Gaussian naive Bayes;
+//! * [`tree`] — CART decision trees (Gini);
+//! * [`forest`] — random forests (bagging + feature subsampling);
+//! * [`knn`] — k-nearest neighbours;
+//! * [`svm`] — linear SVM (Pegasos);
+//! * [`eval`] — confusion matrices, precision/recall/F1, k-fold CV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boost;
+pub mod dataset;
+pub mod eval;
+pub mod forest;
+pub mod knn;
+pub mod logreg;
+pub mod model;
+pub mod naive_bayes;
+pub mod scale;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use model::Classifier;

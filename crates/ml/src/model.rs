@@ -1,0 +1,59 @@
+//! The classifier interface.
+
+use crate::dataset::Dataset;
+
+/// A trainable binary classifier.
+pub trait Classifier {
+    /// Fit on a training set.
+    fn fit(&mut self, train: &Dataset);
+
+    /// Predict the label of one feature row.
+    fn predict(&self, row: &[f64]) -> bool;
+
+    /// Predict the positive-class probability (default: hard 0/1 from
+    /// [`Classifier::predict`]).
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.predict(row) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable model name.
+    fn name(&self) -> &'static str;
+}
+
+/// Predict labels for every row of a dataset.
+pub fn predict_all<C: Classifier + ?Sized>(model: &C, data: &Dataset) -> Vec<bool> {
+    (0..data.len()).map(|i| model.predict(data.row(i))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(bool);
+    impl Classifier for Constant {
+        fn fit(&mut self, _train: &Dataset) {}
+        fn predict(&self, _row: &[f64]) -> bool {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+    }
+
+    #[test]
+    fn default_proba_is_hard() {
+        let c = Constant(true);
+        assert_eq!(c.predict_proba(&[0.0]), 1.0);
+        assert_eq!(Constant(false).predict_proba(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn predict_all_maps_rows() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![true, false]);
+        assert_eq!(predict_all(&Constant(true), &d), vec![true, true]);
+    }
+}

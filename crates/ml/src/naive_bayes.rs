@@ -1,0 +1,160 @@
+//! Gaussian naive Bayes.
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+
+/// Gaussian naive Bayes with variance smoothing.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    /// Per-class feature means `[negative, positive]`.
+    means: [Vec<f64>; 2],
+    /// Per-class feature variances.
+    vars: [Vec<f64>; 2],
+    /// Log class priors.
+    log_prior: [f64; 2],
+    fitted: bool,
+}
+
+const VAR_SMOOTHING: f64 = 1e-9;
+
+impl GaussianNb {
+    /// New unfitted model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn log_likelihood(&self, class: usize, row: &[f64]) -> f64 {
+        let mut ll = self.log_prior[class];
+        for ((x, m), v) in row.iter().zip(&self.means[class]).zip(&self.vars[class]) {
+            let var = v + VAR_SMOOTHING;
+            ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + (x - m) * (x - m) / var);
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, train: &Dataset) {
+        let d = train.n_features();
+        let mut counts = [0usize; 2];
+        let mut sums = [vec![0.0; d], vec![0.0; d]];
+        for i in 0..train.len() {
+            let c = usize::from(train.label(i));
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(train.row(i)) {
+                *s += x;
+            }
+        }
+        let mut means = [vec![0.0; d], vec![0.0; d]];
+        for c in 0..2 {
+            if counts[c] > 0 {
+                for (m, s) in means[c].iter_mut().zip(&sums[c]) {
+                    *m = s / counts[c] as f64;
+                }
+            }
+        }
+        let mut vars = [vec![0.0; d], vec![0.0; d]];
+        for i in 0..train.len() {
+            let c = usize::from(train.label(i));
+            for ((v, x), m) in vars[c].iter_mut().zip(train.row(i)).zip(&means[c]) {
+                let e = x - m;
+                *v += e * e;
+            }
+        }
+        for c in 0..2 {
+            if counts[c] > 0 {
+                for v in vars[c].iter_mut() {
+                    *v /= counts[c] as f64;
+                }
+            }
+        }
+        let total = (counts[0] + counts[1]).max(1) as f64;
+        // Laplace-smoothed priors keep an unseen class finite.
+        self.log_prior = [
+            ((counts[0] as f64 + 1.0) / (total + 2.0)).ln(),
+            ((counts[1] as f64 + 1.0) / (total + 2.0)).ln(),
+        ];
+        self.means = means;
+        self.vars = vars;
+        self.fitted = true;
+    }
+
+    fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if !self.fitted {
+            return 0.0;
+        }
+        let l0 = self.log_likelihood(0, row);
+        let l1 = self.log_likelihood(1, row);
+        // Softmax over two log-likelihoods, computed stably.
+        let m = l0.max(l1);
+        let e0 = (l0 - m).exp();
+        let e1 = (l1 - m).exp();
+        e1 / (e0 + e1)
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian-naive-bayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian-ish blobs.
+    fn blob_data() -> Dataset {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.1;
+            rows.push(vec![1.0 + jitter, 1.0 - jitter]);
+            labels.push(false);
+            rows.push(vec![5.0 - jitter, 5.0 + jitter]);
+            labels.push(true);
+        }
+        Dataset::new(rows, labels)
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let d = blob_data();
+        let mut m = GaussianNb::new();
+        m.fit(&d);
+        assert!(!m.predict(&[1.0, 1.0]));
+        assert!(m.predict(&[5.0, 5.0]));
+        assert!(m.predict_proba(&[5.0, 5.0]) > 0.99);
+        assert!(m.predict_proba(&[1.0, 1.0]) < 0.01);
+    }
+
+    #[test]
+    fn unfitted_predicts_negative() {
+        let m = GaussianNb::new();
+        assert!(!m.predict(&[1.0]));
+    }
+
+    #[test]
+    fn single_class_training_is_stable() {
+        let d = Dataset::new(vec![vec![1.0], vec![2.0]], vec![true, true]);
+        let mut m = GaussianNb::new();
+        m.fit(&d);
+        let p = m.predict_proba(&[1.5]);
+        assert!(p.is_finite());
+        assert!(p > 0.5, "all-positive training should predict positive");
+    }
+
+    #[test]
+    fn constant_feature_does_not_nan() {
+        let d = Dataset::new(
+            vec![vec![1.0, 7.0], vec![2.0, 7.0], vec![5.0, 7.0], vec![6.0, 7.0]],
+            vec![false, false, true, true],
+        );
+        let mut m = GaussianNb::new();
+        m.fit(&d);
+        assert!(m.predict_proba(&[5.5, 7.0]).is_finite());
+        assert!(m.predict(&[5.5, 7.0]));
+    }
+}

@@ -1,0 +1,94 @@
+//! Feature standardization (z-scores).
+
+use crate::dataset::Dataset;
+
+/// Per-feature mean/std fitted on a training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit on `data`. Constant features get std 1 (so they map to 0).
+    pub fn fit(data: &Dataset) -> Self {
+        let n = data.len().max(1) as f64;
+        let d = data.n_features();
+        let mut means = vec![0.0; d];
+        for row in data.rows() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; d];
+        for row in data.rows() {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                let x = v - m;
+                *s += x * x;
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        StandardScaler { means, stds }
+    }
+
+    /// Transform one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a whole dataset into a new one.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let rows: Vec<Vec<f64>> = data
+            .rows()
+            .iter()
+            .map(|r| {
+                let mut row = r.clone();
+                self.transform_row(&mut row);
+                row
+            })
+            .collect();
+        Dataset::new(rows, data.labels().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_unit_variance() {
+        let d = Dataset::new(
+            vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]],
+            vec![true, false, true],
+        );
+        let sc = StandardScaler::fit(&d);
+        let t = sc.transform(&d);
+        // First feature: mean 3, values -x, 0, +x.
+        let col0: Vec<f64> = t.rows().iter().map(|r| r[0]).collect();
+        assert!((col0.iter().sum::<f64>()).abs() < 1e-12);
+        let var: f64 = col0.iter().map(|v| v * v).sum::<f64>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-12);
+        // Constant feature maps to 0, not NaN.
+        assert!(t.rows().iter().all(|r| r[1] == 0.0));
+    }
+
+    #[test]
+    fn transform_uses_training_statistics() {
+        let train = Dataset::new(vec![vec![0.0], vec![2.0]], vec![true, false]);
+        let sc = StandardScaler::fit(&train);
+        let mut row = vec![4.0];
+        sc.transform_row(&mut row);
+        // mean 1, std 1 → (4-1)/1 = 3.
+        assert!((row[0] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,290 @@
+//! CART decision trees with Gini impurity.
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+
+/// A binary decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// When `Some(m)`, consider only a deterministic rotation of `m`
+    /// features per node (used by the random forest).
+    pub max_features: Option<usize>,
+    /// Rotation offset for feature subsampling (per-tree diversity).
+    pub feature_offset: usize,
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Probability of the positive class at this leaf.
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child (`<=` branch); right child is `left + 1`
+        /// positions later is not guaranteed, so both are stored.
+        left: usize,
+        right: usize,
+    },
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        DecisionTree {
+            max_depth: 8,
+            min_samples_split: 2,
+            max_features: None,
+            feature_offset: 0,
+            nodes: Vec::new(),
+        }
+    }
+}
+
+impl DecisionTree {
+    /// New tree with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New tree with forest-style hyperparameters (depth cap, feature
+    /// subsampling and a per-tree rotation offset).
+    pub fn with_params(max_depth: usize, max_features: Option<usize>, feature_offset: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            max_features,
+            feature_offset,
+            ..Default::default()
+        }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn gini(pos: usize, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let p = pos as f64 / total as f64;
+        2.0 * p * (1.0 - p)
+    }
+
+    /// Best (feature, threshold, gini_after) over the considered features.
+    fn best_split(&self, data: &Dataset, indices: &[usize]) -> Option<(usize, f64, f64)> {
+        let d = data.n_features();
+        let features: Vec<usize> = match self.max_features {
+            Some(m) => (0..m.min(d))
+                .map(|i| (self.feature_offset + i * 7 + 1) % d)
+                .collect(),
+            None => (0..d).collect(),
+        };
+        let total = indices.len();
+        let total_pos = indices.iter().filter(|&&i| data.label(i)).count();
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &f in &features {
+            // Sort indices by feature value; sweep split points.
+            let mut order: Vec<usize> = indices.to_vec();
+            order.sort_by(|&a, &b| {
+                data.row(a)[f]
+                    .partial_cmp(&data.row(b)[f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_pos = 0usize;
+            for (li, &i) in order.iter().enumerate() {
+                if data.label(i) {
+                    left_pos += 1;
+                }
+                let left_n = li + 1;
+                if left_n == total {
+                    break;
+                }
+                let v = data.row(i)[f];
+                let next_v = data.row(order[li + 1])[f];
+                if v == next_v {
+                    continue; // cannot split between equal values
+                }
+                let right_n = total - left_n;
+                let right_pos = total_pos - left_pos;
+                let g = (left_n as f64 * Self::gini(left_pos, left_n)
+                    + right_n as f64 * Self::gini(right_pos, right_n))
+                    / total as f64;
+                if best.is_none_or(|(_, _, bg)| g < bg) {
+                    best = Some((f, (v + next_v) / 2.0, g));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, data: &Dataset, indices: &[usize], depth: usize) -> usize {
+        let total = indices.len();
+        let pos = indices.iter().filter(|&&i| data.label(i)).count();
+        let proba = if total == 0 {
+            0.0
+        } else {
+            pos as f64 / total as f64
+        };
+        let pure = pos == 0 || pos == total;
+        if depth >= self.max_depth || total < self.min_samples_split || pure {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        }
+        // Accept zero-gain splits: XOR-style targets have no first-split
+        // Gini gain, yet depth-2 recovery requires taking the split anyway
+        // (both sides are guaranteed nonempty, so recursion terminates).
+        match self.best_split(data, indices) {
+            Some((feature, threshold, _g)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| data.row(i)[feature] <= threshold);
+                let me = self.nodes.len();
+                self.nodes.push(Node::Leaf { proba }); // placeholder
+                let left = self.build(data, &left_idx, depth + 1);
+                let right = self.build(data, &right_idx, depth + 1);
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                me
+            }
+            None => {
+                self.nodes.push(Node::Leaf { proba });
+                self.nodes.len() - 1
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, train: &Dataset) {
+        self.nodes.clear();
+        if train.is_empty() {
+            self.nodes.push(Node::Leaf { proba: 0.0 });
+            return;
+        }
+        let indices: Vec<usize> = (0..train.len()).collect();
+        self.build(train, &indices, 0);
+    }
+
+    fn predict(&self, row: &[f64]) -> bool {
+        self.predict_proba(row) >= 0.5
+    }
+
+    fn predict_proba(&self, row: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        // The root is the first node pushed by the outermost build call —
+        // placeholders guarantee it is at index 0.
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::predict_all;
+
+    fn xor_data() -> Dataset {
+        // XOR needs depth ≥ 2 — a classic non-linear check.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..5 {
+            for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+                rows.push(vec![a, b]);
+                labels.push((a > 0.5) != (b > 0.5));
+            }
+        }
+        Dataset::new(rows, labels)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let d = xor_data();
+        let mut t = DecisionTree::new();
+        t.fit(&d);
+        let preds = predict_all(&t, &d);
+        assert_eq!(preds, d.labels());
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let d = xor_data();
+        let mut stump = DecisionTree {
+            max_depth: 0,
+            ..Default::default()
+        };
+        stump.fit(&d);
+        assert_eq!(stump.node_count(), 1, "depth 0 is a single leaf");
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![true, true]);
+        let mut t = DecisionTree::new();
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.predict(&[0.5]));
+    }
+
+    #[test]
+    fn empty_training_predicts_negative() {
+        let mut t = DecisionTree::new();
+        t.fit(&Dataset::new(vec![], vec![]));
+        assert!(!t.predict(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn proba_reflects_leaf_purity() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![0.2], vec![0.4], vec![1.0]],
+            vec![false, false, true, true],
+        );
+        let mut t = DecisionTree::new();
+        t.fit(&d);
+        assert!(t.predict_proba(&[0.0]) < 0.5);
+        assert!(t.predict_proba(&[1.0]) > 0.5);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf() {
+        let d = Dataset::new(
+            vec![vec![3.0], vec![3.0], vec![3.0]],
+            vec![true, false, true],
+        );
+        let mut t = DecisionTree::new();
+        t.fit(&d);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.predict(&[3.0]), "majority class");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the ML substrate.
+
+use boe_ml::boost::AdaBoost;
+use boe_ml::dataset::Dataset;
+use boe_ml::eval::{stratified_folds, Confusion};
+use boe_ml::forest::RandomForest;
+use boe_ml::knn::KNearest;
+use boe_ml::logreg::LogisticRegression;
+use boe_ml::model::Classifier;
+use boe_ml::naive_bayes::GaussianNb;
+use boe_ml::scale::StandardScaler;
+use boe_ml::svm::LinearSvm;
+use boe_ml::tree::DecisionTree;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 4usize..30).prop_flat_map(|(d, n)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, d..=d),
+                n..=n,
+            ),
+            proptest::collection::vec(any::<bool>(), n..=n),
+        )
+            .prop_map(|(rows, labels)| Dataset::new(rows, labels))
+    })
+}
+
+fn all_models() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(LogisticRegression::new()),
+        Box::new(GaussianNb::new()),
+        Box::new(DecisionTree::new()),
+        Box::new(RandomForest::new()),
+        Box::new(KNearest::new(3)),
+        Box::new(LinearSvm::new()),
+        Box::new(AdaBoost::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn probabilities_are_probabilities(data in dataset_strategy()) {
+        for mut model in all_models() {
+            model.fit(&data);
+            for i in 0..data.len() {
+                let p = model.predict_proba(data.row(i));
+                prop_assert!((0.0..=1.0).contains(&p), "{}: {p}", model.name());
+                prop_assert!(p.is_finite(), "{}", model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic(data in dataset_strategy()) {
+        for (mut a, mut b) in all_models().into_iter().zip(all_models()) {
+            a.fit(&data);
+            b.fit(&data);
+            for i in 0..data.len() {
+                prop_assert_eq!(
+                    a.predict(data.row(i)),
+                    b.predict(data.row(i)),
+                    "{} differs on row {}",
+                    a.name(),
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_round_trips_statistics(data in dataset_strategy()) {
+        let sc = StandardScaler::fit(&data);
+        let t = sc.transform(&data);
+        prop_assert_eq!(t.len(), data.len());
+        prop_assert_eq!(t.n_features(), data.n_features());
+        for f in 0..t.n_features() {
+            let mean: f64 = t.rows().iter().map(|r| r[f]).sum::<f64>() / t.len() as f64;
+            prop_assert!(mean.abs() < 1e-9, "feature {f} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn stratified_folds_partition_everything(labels in proptest::collection::vec(any::<bool>(), 4..60), k in 2usize..6) {
+        let folds = stratified_folds(&labels, k);
+        prop_assert_eq!(folds.len(), labels.len());
+        prop_assert!(folds.iter().all(|&f| f < k));
+        // Class balance: positives per fold differ by at most 1.
+        let mut pos = vec![0usize; k];
+        for (&l, &f) in labels.iter().zip(&folds) {
+            if l {
+                pos[f] += 1;
+            }
+        }
+        let (mn, mx) = (pos.iter().min().copied().unwrap_or(0), pos.iter().max().copied().unwrap_or(0));
+        prop_assert!(mx - mn <= 1, "{pos:?}");
+    }
+
+    #[test]
+    fn confusion_metrics_are_bounded(gold in proptest::collection::vec(any::<bool>(), 1..50), seed in 0u64..50) {
+        // Derive predictions deterministically from the seed.
+        let pred: Vec<bool> = gold
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| if (seed >> (i % 60)) & 1 == 1 { !g } else { g })
+            .collect();
+        let c = Confusion::from_predictions(&gold, &pred);
+        for m in [c.accuracy(), c.precision(), c.recall(), c.f1()] {
+            prop_assert!((0.0..=1.0).contains(&m));
+        }
+        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, gold.len());
+    }
+}

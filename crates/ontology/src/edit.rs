@@ -1,0 +1,295 @@
+//! Enrichment operations.
+//!
+//! The workflow's end product is a set of *propositions*: attach a new
+//! term as a synonym of an existing concept, or insert it as a new son
+//! concept. This module applies such operations, producing a new ontology
+//! plus a provenance log (ontologies are immutable; edits rebuild).
+
+use crate::model::{BuildError, ConceptId, Ontology, OntologyBuilder};
+use boe_textkit::normalize::match_key;
+use std::fmt;
+
+/// One enrichment operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnrichmentOp {
+    /// Add `term` as a synonym of `concept`.
+    AddSynonym {
+        /// Target concept.
+        concept: ConceptId,
+        /// The new synonym.
+        term: String,
+    },
+    /// Create a new concept under `parent`. The parent may itself be a
+    /// concept created by an earlier op in the same batch.
+    AddChild {
+        /// Father of the new concept.
+        parent: ConceptId,
+        /// Preferred term of the new concept.
+        preferred: String,
+        /// Synonyms of the new concept.
+        synonyms: Vec<String>,
+    },
+}
+
+/// Errors from applying enrichment operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// Referenced concept does not exist (neither in the base ontology nor
+    /// among concepts created earlier in the batch).
+    UnknownConcept(ConceptId),
+    /// The term already exists on that concept.
+    DuplicateTerm(String),
+    /// Rebuild failed (cannot happen for well-formed ops; surfaced anyway).
+    Build(BuildError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownConcept(c) => write!(f, "unknown concept {c}"),
+            EditError::DuplicateTerm(t) => write!(f, "term {t:?} already present"),
+            EditError::Build(e) => write!(f, "rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+/// Provenance record for one applied operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedOp {
+    /// The operation.
+    pub op: EnrichmentOp,
+    /// The concept affected or created.
+    pub concept: ConceptId,
+}
+
+/// Apply `ops` in order to `onto`, returning the enriched ontology and the
+/// provenance log. The input ontology is not modified.
+pub fn apply(
+    onto: &Ontology,
+    ops: &[EnrichmentOp],
+) -> Result<(Ontology, Vec<AppliedOp>), EditError> {
+    let n_old = onto.len();
+    let mut synonym_adds: Vec<(ConceptId, String)> = Vec::new();
+    let mut new_children: Vec<(ConceptId, String, Vec<String>)> = Vec::new();
+    let mut log = Vec::with_capacity(ops.len());
+    for op in ops {
+        let live = n_old + new_children.len();
+        match op {
+            EnrichmentOp::AddSynonym { concept, term } => {
+                if concept.index() >= live {
+                    return Err(EditError::UnknownConcept(*concept));
+                }
+                let already = if concept.index() < n_old {
+                    onto.concept(*concept)
+                        .terms()
+                        .any(|t| match_key(t) == match_key(term))
+                } else {
+                    let (_, pref, syns) = &new_children[concept.index() - n_old];
+                    std::iter::once(pref)
+                        .chain(syns.iter())
+                        .any(|t| match_key(t) == match_key(term))
+                } || synonym_adds
+                    .iter()
+                    .any(|(c, t)| c == concept && match_key(t) == match_key(term));
+                if already {
+                    return Err(EditError::DuplicateTerm(term.clone()));
+                }
+                synonym_adds.push((*concept, term.clone()));
+                log.push(AppliedOp {
+                    op: op.clone(),
+                    concept: *concept,
+                });
+            }
+            EnrichmentOp::AddChild {
+                parent,
+                preferred,
+                synonyms,
+            } => {
+                if parent.index() >= live {
+                    return Err(EditError::UnknownConcept(*parent));
+                }
+                let id = ConceptId(live as u32);
+                new_children.push((*parent, preferred.clone(), synonyms.clone()));
+                log.push(AppliedOp {
+                    op: op.clone(),
+                    concept: id,
+                });
+            }
+        }
+    }
+    // Rebuild: old concepts with patched synonym lists, then new children.
+    let mut b = OntologyBuilder::new(onto.name().to_owned(), onto.language());
+    for c in onto.concepts() {
+        let mut syns = c.synonyms.clone();
+        for (target, term) in &synonym_adds {
+            if *target == c.id {
+                syns.push(term.clone());
+            }
+        }
+        b.add_concept(c.preferred.clone(), syns);
+    }
+    for (i, (parent, preferred, synonyms)) in new_children.iter().enumerate() {
+        let mut syns = synonyms.clone();
+        let my_id = ConceptId((n_old + i) as u32);
+        for (target, term) in &synonym_adds {
+            if *target == my_id {
+                syns.push(term.clone());
+            }
+        }
+        let id = b.add_concept(preferred.clone(), syns);
+        debug_assert_eq!(id, my_id);
+        b.add_is_a(id, *parent);
+    }
+    for c in onto.concepts() {
+        for &p in &c.parents {
+            b.add_is_a(c.id, p);
+        }
+    }
+    let rebuilt = b.build().map_err(EditError::Build)?;
+    Ok((rebuilt, log))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use boe_textkit::Language;
+
+    fn base() -> Ontology {
+        let mut b = OntologyBuilder::new("t", Language::English);
+        let eye = b.add_concept("eye diseases", vec![]);
+        let cd = b.add_concept("corneal diseases", vec![]);
+        b.add_is_a(cd, eye);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn add_synonym() {
+        let o = base();
+        let (o2, log) = apply(
+            &o,
+            &[EnrichmentOp::AddSynonym {
+                concept: ConceptId(1),
+                term: "keratopathy".into(),
+            }],
+        )
+        .expect("ok");
+        assert!(o2.contains_term("keratopathy"));
+        assert_eq!(o2.concepts_of_term("keratopathy"), &[ConceptId(1)]);
+        assert_eq!(log.len(), 1);
+        assert!(!o.contains_term("keratopathy"), "original untouched");
+    }
+
+    #[test]
+    fn add_child_concept() {
+        let o = base();
+        let (o2, log) = apply(
+            &o,
+            &[EnrichmentOp::AddChild {
+                parent: ConceptId(1),
+                preferred: "corneal injuries".into(),
+                synonyms: vec!["corneal trauma".into()],
+            }],
+        )
+        .expect("ok");
+        let new_id = log[0].concept;
+        assert_eq!(new_id, ConceptId(2));
+        assert_eq!(o2.concept(new_id).parents, vec![ConceptId(1)]);
+        assert!(o2.contains_term("corneal trauma"));
+        assert_eq!(o2.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_synonym_rejected() {
+        let o = base();
+        let err = apply(
+            &o,
+            &[EnrichmentOp::AddSynonym {
+                concept: ConceptId(0),
+                term: "Eye Diseases".into(),
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EditError::DuplicateTerm(_)));
+    }
+
+    #[test]
+    fn unknown_concept_rejected() {
+        let o = base();
+        let err = apply(
+            &o,
+            &[EnrichmentOp::AddSynonym {
+                concept: ConceptId(9),
+                term: "x".into(),
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, EditError::UnknownConcept(ConceptId(9)));
+    }
+
+    #[test]
+    fn child_of_new_child_is_allowed() {
+        let o = base();
+        let (o2, log) = apply(
+            &o,
+            &[
+                EnrichmentOp::AddChild {
+                    parent: ConceptId(0),
+                    preferred: "eye injuries".into(),
+                    synonyms: vec![],
+                },
+                EnrichmentOp::AddChild {
+                    parent: ConceptId(2),
+                    preferred: "corneal injuries".into(),
+                    synonyms: vec![],
+                },
+            ],
+        )
+        .expect("ok");
+        assert_eq!(log[0].concept, ConceptId(2));
+        assert_eq!(log[1].concept, ConceptId(3));
+        assert_eq!(o2.concept(ConceptId(3)).parents, vec![ConceptId(2)]);
+    }
+
+    #[test]
+    fn synonym_on_new_child_in_same_batch() {
+        let o = base();
+        let (o2, _) = apply(
+            &o,
+            &[
+                EnrichmentOp::AddChild {
+                    parent: ConceptId(1),
+                    preferred: "corneal injuries".into(),
+                    synonyms: vec![],
+                },
+                EnrichmentOp::AddSynonym {
+                    concept: ConceptId(2),
+                    term: "corneal trauma".into(),
+                },
+            ],
+        )
+        .expect("ok");
+        assert_eq!(o2.concepts_of_term("corneal trauma"), &[ConceptId(2)]);
+    }
+
+    #[test]
+    fn duplicate_within_batch_rejected() {
+        let o = base();
+        let err = apply(
+            &o,
+            &[
+                EnrichmentOp::AddSynonym {
+                    concept: ConceptId(0),
+                    term: "ocular diseases".into(),
+                },
+                EnrichmentOp::AddSynonym {
+                    concept: ConceptId(0),
+                    term: "Ocular  Diseases".into(),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EditError::DuplicateTerm(_)));
+    }
+}

@@ -1,0 +1,205 @@
+//! Line-oriented text serialization for ontologies.
+//!
+//! Format (one record per line, tab-free terms assumed):
+//!
+//! ```text
+//! ! <name> <lang-code>
+//! C <id> <preferred term>
+//! S <id> <synonym term>
+//! L <child-id> <parent-id>
+//! ```
+//!
+//! Deliberately tiny — enough to persist and reload experiment fixtures
+//! without pulling a serialization dependency into the workspace.
+
+use crate::model::{ConceptId, Ontology, OntologyBuilder};
+use boe_textkit::Language;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Serialize `onto` into the text format.
+pub fn to_string(onto: &Ontology) -> String {
+    let mut out = String::new();
+    writeln!(out, "! {} {}", onto.name(), onto.language().code()).expect("string write");
+    for c in onto.concepts() {
+        writeln!(out, "C {} {}", c.id.0, c.preferred).expect("string write");
+        for s in &c.synonyms {
+            writeln!(out, "S {} {}", c.id.0, s).expect("string write");
+        }
+    }
+    for c in onto.concepts() {
+        for p in &c.parents {
+            writeln!(out, "L {} {}", c.id.0, p.0).expect("string write");
+        }
+    }
+    out
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or malformed header line.
+    BadHeader,
+    /// A record line could not be parsed.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Concept ids must be dense and in order.
+    BadConceptId {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The reconstructed ontology failed validation.
+    Build(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or malformed '!' header"),
+            ParseError::BadRecord { line, text } => {
+                write!(f, "bad record at line {line}: {text:?}")
+            }
+            ParseError::BadConceptId { line } => {
+                write!(f, "non-dense concept id at line {line}")
+            }
+            ParseError::Build(e) => write!(f, "ontology rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text format back into an [`Ontology`].
+pub fn from_str(text: &str) -> Result<Ontology, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError::BadHeader)?;
+    let header = header.strip_prefix("! ").ok_or(ParseError::BadHeader)?;
+    let (name, lang_code) = header.rsplit_once(' ').ok_or(ParseError::BadHeader)?;
+    let lang: Language = lang_code.parse().map_err(|_| ParseError::BadHeader)?;
+    let mut builder = OntologyBuilder::new(name, lang);
+    // Two passes worth of state in one scan: concepts arrive before their
+    // synonyms (format guarantee); links can be forward references.
+    let mut synonyms: Vec<Vec<String>> = Vec::new();
+    let mut preferred: Vec<String> = Vec::new();
+    let mut links: Vec<(u32, u32)> = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = || ParseError::BadRecord {
+            line: line_no,
+            text: line.to_owned(),
+        };
+        let (kind, rest) = line.split_once(' ').ok_or_else(bad)?;
+        match kind {
+            "C" => {
+                let (id, term) = rest.split_once(' ').ok_or_else(bad)?;
+                let id: u32 = id.parse().map_err(|_| bad())?;
+                if id as usize != preferred.len() {
+                    return Err(ParseError::BadConceptId { line: line_no });
+                }
+                preferred.push(term.to_owned());
+                synonyms.push(Vec::new());
+            }
+            "S" => {
+                let (id, term) = rest.split_once(' ').ok_or_else(bad)?;
+                let id: usize = id.parse().map_err(|_| bad())?;
+                let slot = synonyms.get_mut(id).ok_or_else(bad)?;
+                slot.push(term.to_owned());
+            }
+            "L" => {
+                let (c, p) = rest.split_once(' ').ok_or_else(bad)?;
+                links.push((c.parse().map_err(|_| bad())?, p.parse().map_err(|_| bad())?));
+            }
+            _ => return Err(bad()),
+        }
+    }
+    for (p, s) in preferred.into_iter().zip(synonyms) {
+        builder.add_concept(p, s);
+    }
+    for (c, p) in links {
+        builder.add_is_a(ConceptId(c), ConceptId(p));
+    }
+    builder
+        .build()
+        .map_err(|e| ParseError::Build(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ontology {
+        let mut b = OntologyBuilder::new("MeSH-like (en)", Language::English);
+        let eye = b.add_concept("eye diseases", vec!["ocular diseases".to_owned()]);
+        let cd = b.add_concept("corneal diseases", vec![]);
+        let ci = b.add_concept("corneal injuries", vec!["corneal trauma".to_owned()]);
+        b.add_is_a(cd, eye);
+        b.add_is_a(ci, cd);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn round_trip() {
+        let o = sample();
+        let text = to_string(&o);
+        let o2 = from_str(&text).expect("parse");
+        assert_eq!(o2.name(), o.name());
+        assert_eq!(o2.language(), o.language());
+        assert_eq!(o2.len(), o.len());
+        for (a, b) in o.concepts().iter().zip(o2.concepts()) {
+            assert_eq!(a.preferred, b.preferred);
+            assert_eq!(a.synonyms, b.synonyms);
+            assert_eq!(a.parents, b.parents);
+        }
+    }
+
+    #[test]
+    fn header_carries_name_with_spaces() {
+        let text = to_string(&sample());
+        assert!(text.starts_with("! MeSH-like (en) en\n"));
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        assert_eq!(from_str("").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(from_str("C 0 x").unwrap_err(), ParseError::BadHeader);
+        assert_eq!(from_str("! name xx\n").unwrap_err(), ParseError::BadHeader);
+    }
+
+    #[test]
+    fn bad_record_reports_line() {
+        let text = "! t en\nC 0 eye\nGARBAGE LINE\n";
+        match from_str(text).unwrap_err() {
+            ParseError::BadRecord { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_dense_ids_rejected() {
+        let text = "! t en\nC 5 eye\n";
+        assert!(matches!(
+            from_str(text).unwrap_err(),
+            ParseError::BadConceptId { .. }
+        ));
+    }
+
+    #[test]
+    fn cycle_in_file_is_a_build_error() {
+        let text = "! t en\nC 0 a\nC 1 b\nL 0 1\nL 1 0\n";
+        assert!(matches!(from_str(text).unwrap_err(), ParseError::Build(_)));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "! t en\n\nC 0 eye\n\n";
+        let o = from_str(text).expect("parse");
+        assert_eq!(o.len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Structural metrics of a terminology.
+//!
+//! Used by the experiment harness to verify that generated ontologies are
+//! structurally MeSH-like (depth, branching, synonymy rates) and exposed
+//! for downstream analysis of enrichment results.
+
+use crate::model::{ConceptId, Ontology};
+use std::collections::VecDeque;
+
+/// Structural summary of an ontology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OntologyMetrics {
+    /// Number of concepts.
+    pub concepts: usize,
+    /// Number of distinct (normalized) terms.
+    pub terms: usize,
+    /// Mean terms per concept (synonymy rate + 1).
+    pub terms_per_concept: f64,
+    /// Number of root concepts.
+    pub roots: usize,
+    /// Number of leaf concepts.
+    pub leaves: usize,
+    /// Maximum depth (root = 0; 0 for a flat terminology).
+    pub max_depth: usize,
+    /// Mean depth over all concepts.
+    pub mean_depth: f64,
+    /// Mean children per internal (non-leaf) concept.
+    pub mean_branching: f64,
+    /// Number of is-a edges.
+    pub is_a_edges: usize,
+}
+
+/// Compute the metrics (BFS from the roots; depth of a multi-parent
+/// concept is its shortest distance from any root).
+pub fn compute(onto: &Ontology) -> OntologyMetrics {
+    let n = onto.len();
+    let mut depth: Vec<Option<usize>> = vec![None; n];
+    let mut queue: VecDeque<ConceptId> = VecDeque::new();
+    for r in onto.roots() {
+        depth[r.index()] = Some(0);
+        queue.push_back(r);
+    }
+    while let Some(c) = queue.pop_front() {
+        let d = depth[c.index()].expect("visited");
+        for &child in &onto.concept(c).children {
+            if depth[child.index()].is_none() {
+                depth[child.index()] = Some(d + 1);
+                queue.push_back(child);
+            }
+        }
+    }
+    let depths: Vec<usize> = depth.into_iter().flatten().collect();
+    let max_depth = depths.iter().copied().max().unwrap_or(0);
+    let mean_depth = if depths.is_empty() {
+        0.0
+    } else {
+        depths.iter().sum::<usize>() as f64 / depths.len() as f64
+    };
+    let internal: Vec<&crate::model::Concept> = onto
+        .concepts()
+        .iter()
+        .filter(|c| !c.children.is_empty())
+        .collect();
+    let mean_branching = if internal.is_empty() {
+        0.0
+    } else {
+        internal.iter().map(|c| c.children.len()).sum::<usize>() as f64 / internal.len() as f64
+    };
+    let term_total: usize = onto.concepts().iter().map(|c| 1 + c.synonyms.len()).sum();
+    OntologyMetrics {
+        concepts: n,
+        terms: onto.term_count(),
+        terms_per_concept: if n == 0 {
+            0.0
+        } else {
+            term_total as f64 / n as f64
+        },
+        roots: onto.roots().len(),
+        leaves: onto.leaves().len(),
+        max_depth,
+        mean_depth,
+        mean_branching,
+        is_a_edges: onto.concepts().iter().map(|c| c.parents.len()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OntologyBuilder;
+    use crate::synth::mesh::{MeshConfig, MeshGenerator};
+    use boe_textkit::Language;
+
+    #[test]
+    fn metrics_of_a_hand_built_tree() {
+        let mut b = OntologyBuilder::new("t", Language::English);
+        let root = b.add_concept("root term", vec!["root synonym".into()]);
+        let a = b.add_concept("child a", vec![]);
+        let bb = b.add_concept("child b", vec![]);
+        let leaf = b.add_concept("grand child", vec![]);
+        b.add_is_a(a, root);
+        b.add_is_a(bb, root);
+        b.add_is_a(leaf, a);
+        let o = b.build().expect("valid");
+        let m = compute(&o);
+        assert_eq!(m.concepts, 4);
+        assert_eq!(m.terms, 5);
+        assert_eq!(m.roots, 1);
+        assert_eq!(m.leaves, 2);
+        assert_eq!(m.max_depth, 2);
+        assert!((m.mean_depth - (0.0 + 1.0 + 1.0 + 2.0) / 4.0).abs() < 1e-12);
+        assert!((m.mean_branching - 1.5).abs() < 1e-12); // root 2, a 1
+        assert_eq!(m.is_a_edges, 3);
+        assert!((m.terms_per_concept - 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_mesh_is_structurally_mesh_like() {
+        let (o, _) = MeshGenerator::new(
+            Language::English,
+            MeshConfig {
+                n_concepts: 300,
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .generate();
+        let m = compute(&o);
+        assert_eq!(m.concepts, 300);
+        assert_eq!(m.roots, 1);
+        assert!(m.max_depth >= 3, "depth {}", m.max_depth);
+        assert!((2.0..=5.0).contains(&m.mean_branching), "{}", m.mean_branching);
+        assert!(m.terms_per_concept > 1.4, "{}", m.terms_per_concept);
+    }
+
+    #[test]
+    fn flat_terminology_has_zero_depth() {
+        let mut b = OntologyBuilder::new("t", Language::English);
+        b.add_concept("a", vec![]);
+        b.add_concept("b", vec![]);
+        let o = b.build().expect("valid");
+        let m = compute(&o);
+        assert_eq!(m.max_depth, 0);
+        assert_eq!(m.roots, 2);
+        assert_eq!(m.leaves, 2);
+        assert_eq!(m.mean_branching, 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Polysemic-term statistics (the paper's Table 1).
+//!
+//! A term is *polysemic* when it is attached to more than one concept.
+//! Table 1 buckets polysemic terms by their number of senses
+//! (k = 2, 3, 4, 5+) for UMLS and MeSH in EN/FR/ES, motivating the
+//! workflow's restriction of the sense count to [2, 5].
+
+use crate::model::Ontology;
+use std::collections::BTreeMap;
+
+/// Polysemy statistics of one terminology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolysemyStats {
+    /// Distinct (normalized) terms.
+    pub total_terms: usize,
+    /// Count of polysemic terms per sense count; the `5` bucket holds "5
+    /// or more" like the paper's `5+` row.
+    pub by_senses: BTreeMap<usize, usize>,
+}
+
+impl PolysemyStats {
+    /// Compute the statistics for `onto`.
+    pub fn compute(onto: &Ontology) -> Self {
+        let mut by_senses: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        for (_, concepts) in onto.terms() {
+            total += 1;
+            let k = concepts.len();
+            if k >= 2 {
+                *by_senses.entry(k.min(5)).or_insert(0) += 1;
+            }
+        }
+        PolysemyStats {
+            total_terms: total,
+            by_senses,
+        }
+    }
+
+    /// Number of polysemic terms with exactly `k` senses (`k = 5` means
+    /// "5 or more").
+    pub fn count(&self, k: usize) -> usize {
+        self.by_senses.get(&k).copied().unwrap_or(0)
+    }
+
+    /// Total polysemic terms (any k ≥ 2).
+    pub fn polysemic_total(&self) -> usize {
+        self.by_senses.values().sum()
+    }
+
+    /// Ratio of polysemic to total terms — the paper notes ≈ 1/200 for
+    /// English UMLS.
+    pub fn polysemic_ratio(&self) -> f64 {
+        if self.total_terms == 0 {
+            0.0
+        } else {
+            self.polysemic_total() as f64 / self.total_terms as f64
+        }
+    }
+
+    /// The Table-1 row vector `[k=2, k=3, k=4, k=5+]`.
+    pub fn table1_row(&self) -> [usize; 4] {
+        [self.count(2), self.count(3), self.count(4), self.count(5)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OntologyBuilder;
+    use boe_textkit::Language;
+
+    fn build_with_shared_terms() -> Ontology {
+        let mut b = OntologyBuilder::new("t", Language::English);
+        // "cold" on 2 concepts; "discharge" on 3; unique terms elsewhere.
+        b.add_concept("common cold", vec!["cold".to_owned()]);
+        b.add_concept("cold temperature", vec!["cold".to_owned()]);
+        b.add_concept("discharge", vec![]);
+        b.add_concept("hospital discharge", vec!["discharge".to_owned()]);
+        b.add_concept("electric discharge", vec!["discharge".to_owned()]);
+        b.add_concept("cornea", vec![]);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn buckets_by_sense_count() {
+        let o = build_with_shared_terms();
+        let s = PolysemyStats::compute(&o);
+        assert_eq!(s.count(2), 1, "cold");
+        assert_eq!(s.count(3), 1, "discharge");
+        assert_eq!(s.count(4), 0);
+        assert_eq!(s.polysemic_total(), 2);
+        assert_eq!(s.table1_row(), [1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn total_terms_counts_distinct_normalized() {
+        let o = build_with_shared_terms();
+        let s = PolysemyStats::compute(&o);
+        // cold, common cold, cold temperature, discharge, hospital
+        // discharge, electric discharge, cornea = 7 distinct.
+        assert_eq!(s.total_terms, 7);
+        assert!((s.polysemic_ratio() - 2.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_plus_bucket_absorbs_high_k() {
+        let mut b = OntologyBuilder::new("t", Language::English);
+        for i in 0..7 {
+            b.add_concept(format!("c{i}"), vec!["shared".to_owned()]);
+        }
+        let o = b.build().expect("valid");
+        let s = PolysemyStats::compute(&o);
+        assert_eq!(s.count(5), 1);
+        assert_eq!(s.count(2), 0);
+    }
+
+    #[test]
+    fn monosemous_ontology_has_no_polysemy() {
+        let mut b = OntologyBuilder::new("t", Language::English);
+        b.add_concept("a", vec![]);
+        b.add_concept("b", vec![]);
+        let o = b.build().expect("valid");
+        let s = PolysemyStats::compute(&o);
+        assert_eq!(s.polysemic_total(), 0);
+        assert_eq!(s.polysemic_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! MeSH-like synthetic terminology.
+//!
+//! Generates an is-a tree whose labels are adjective–noun terms composed
+//! from the same morpheme pools the corpus generators use, so that corpus
+//! mentions and ontology labels align lexically. Children share lexical
+//! material with their parents (the "corneal diseases" → "corneal ulcer"
+//! pattern), and concepts carry 0–2 morphological synonyms — mirroring
+//! MeSH entry terms.
+
+use crate::model::{ConceptId, Ontology, OntologyBuilder};
+use boe_corpus::synth::vocabgen::LexiconPools;
+use boe_textkit::Language;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for [`MeshGenerator`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeshConfig {
+    /// Target number of concepts.
+    pub n_concepts: usize,
+    /// Children per internal node (inclusive range).
+    pub branching: (usize, usize),
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Probability a child's label reuses its parent's qualifier
+    /// (lexical relatedness).
+    pub inherit_prob: f64,
+    /// Expected synonyms per concept (0.0–2.0; each of 2 slots filled with
+    /// probability `synonyms / 2`).
+    pub synonyms: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            n_concepts: 500,
+            branching: (2, 5),
+            max_depth: 6,
+            inherit_prob: 0.5,
+            synonyms: 1.0,
+            seed: 0x3E5A,
+        }
+    }
+}
+
+/// Generator of MeSH-like ontologies.
+#[derive(Debug)]
+pub struct MeshGenerator {
+    lang: Language,
+    config: MeshConfig,
+}
+
+impl MeshGenerator {
+    /// A generator for `lang` under `config`.
+    pub fn new(lang: Language, config: MeshConfig) -> Self {
+        MeshGenerator { lang, config }
+    }
+
+    /// Generate the ontology. Also returns, per concept, the `(adjective,
+    /// noun)` pair its preferred label was composed from — the corpus
+    /// aligner uses these to build matching topic profiles.
+    pub fn generate(&self) -> (Ontology, Vec<(String, String)>) {
+        let cfg = &self.config;
+        assert!(cfg.n_concepts >= 1, "need at least one concept");
+        assert!(cfg.branching.0 >= 1 && cfg.branching.0 <= cfg.branching.1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let pools = LexiconPools::generate(self.lang);
+        let mut b = OntologyBuilder::new(format!("MeSH-like ({})", self.lang), self.lang);
+        let mut used_labels: HashSet<String> = HashSet::new();
+        let mut parts: Vec<(String, String)> = Vec::new();
+
+        // Fresh unique (adjective, noun) label.
+        let fresh_label = |rng: &mut StdRng,
+                           used: &mut HashSet<String>,
+                           adj_hint: Option<&str>|
+         -> (String, String, String) {
+            loop {
+                let adj = match adj_hint {
+                    Some(a) => a.to_owned(),
+                    None => pools.adjectives[rng.gen_range(0..pools.adjectives.len())].clone(),
+                };
+                let noun = pools.nouns[rng.gen_range(0..pools.nouns.len())].clone();
+                let label = compose(self.lang, &adj, &noun);
+                if used.insert(label.clone()) {
+                    return (label, adj, noun);
+                }
+                // Collision with a hint: drop the hint to escape.
+                if adj_hint.is_some() && rng.gen_bool(0.5) {
+                    return fresh_random(rng, &pools, self.lang, used);
+                }
+            }
+        };
+
+        // BFS construction.
+        let mut frontier: Vec<(ConceptId, usize, String)> = Vec::new();
+        {
+            let (label, adj, noun) = fresh_label(&mut rng, &mut used_labels, None);
+            let syns = self.synonyms_for(&mut rng, &pools, &adj, &noun, &mut used_labels);
+            let root = b.add_concept(label, syns);
+            parts.push((adj.clone(), noun));
+            frontier.push((root, 0, adj));
+        }
+        let mut count = 1usize;
+        let mut qi = 0usize;
+        while count < cfg.n_concepts && qi < frontier.len() {
+            let (parent, depth, parent_adj) = frontier[qi].clone();
+            qi += 1;
+            if depth >= cfg.max_depth {
+                continue;
+            }
+            let n_children = rng.gen_range(cfg.branching.0..=cfg.branching.1);
+            for _ in 0..n_children {
+                if count >= cfg.n_concepts {
+                    break;
+                }
+                let hint = if rng.gen_bool(cfg.inherit_prob) {
+                    Some(parent_adj.as_str())
+                } else {
+                    None
+                };
+                let (label, adj, noun) = fresh_label(&mut rng, &mut used_labels, hint);
+                let syns = self.synonyms_for(&mut rng, &pools, &adj, &noun, &mut used_labels);
+                let id = b.add_concept(label, syns);
+                b.add_is_a(id, parent);
+                parts.push((adj.clone(), noun));
+                frontier.push((id, depth + 1, adj));
+                count += 1;
+            }
+        }
+        let onto = b.build().expect("generator emits acyclic trees");
+        (onto, parts)
+    }
+
+    /// Morphological synonyms: vary the noun or the adjective while keeping
+    /// the other half — like MeSH entry terms ("corneal injury" /
+    /// "corneal trauma" for "corneal injuries").
+    fn synonyms_for(
+        &self,
+        rng: &mut StdRng,
+        pools: &LexiconPools,
+        adj: &str,
+        noun: &str,
+        used: &mut HashSet<String>,
+    ) -> Vec<String> {
+        let mut syns = Vec::new();
+        for _ in 0..2 {
+            if !rng.gen_bool(self.config.synonyms / 2.0) {
+                continue;
+            }
+            let candidate = if rng.gen_bool(0.5) {
+                let other_noun = &pools.nouns[rng.gen_range(0..pools.nouns.len())];
+                compose(self.lang, adj, other_noun)
+            } else {
+                let other_adj = &pools.adjectives[rng.gen_range(0..pools.adjectives.len())];
+                compose(self.lang, other_adj, noun)
+            };
+            if used.insert(candidate.clone()) {
+                syns.push(candidate);
+            }
+        }
+        syns
+    }
+}
+
+fn fresh_random(
+    rng: &mut StdRng,
+    pools: &LexiconPools,
+    lang: Language,
+    used: &mut HashSet<String>,
+) -> (String, String, String) {
+    loop {
+        let adj = pools.adjectives[rng.gen_range(0..pools.adjectives.len())].clone();
+        let noun = pools.nouns[rng.gen_range(0..pools.nouns.len())].clone();
+        let label = compose(lang, &adj, &noun);
+        if used.insert(label.clone()) {
+            return (label, adj, noun);
+        }
+    }
+}
+
+/// Compose a two-word label in the language's NP order.
+pub fn compose(lang: Language, adjective: &str, noun: &str) -> String {
+    match lang {
+        Language::English => format!("{adjective} {noun}"),
+        Language::French | Language::Spanish => format!("{noun} {adjective}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polysemy::PolysemyStats;
+    use crate::query;
+
+    fn generate(n: usize, seed: u64) -> (Ontology, Vec<(String, String)>) {
+        MeshGenerator::new(
+            Language::English,
+            MeshConfig {
+                n_concepts: n,
+                seed,
+                ..Default::default()
+            },
+        )
+        .generate()
+    }
+
+    #[test]
+    fn reaches_target_size() {
+        let (o, parts) = generate(200, 1);
+        assert_eq!(o.len(), 200);
+        assert_eq!(parts.len(), 200);
+    }
+
+    #[test]
+    fn is_a_tree_with_single_root() {
+        let (o, _) = generate(150, 2);
+        assert_eq!(o.roots().len(), 1);
+        // Every non-root has exactly one parent (tree).
+        for c in o.concepts() {
+            if c.id != o.roots()[0] {
+                assert_eq!(c.parents.len(), 1, "{}", c.preferred);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = generate(100, 7);
+        let (b, _) = generate(100, 7);
+        for (ca, cb) in a.concepts().iter().zip(b.concepts()) {
+            assert_eq!(ca.preferred, cb.preferred);
+            assert_eq!(ca.parents, cb.parents);
+        }
+        let (c, _) = generate(100, 8);
+        let same = a
+            .concepts()
+            .iter()
+            .zip(c.concepts())
+            .all(|(x, y)| x.preferred == y.preferred);
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn labels_are_unique_preferred_terms() {
+        let (o, _) = generate(300, 3);
+        let stats = PolysemyStats::compute(&o);
+        // Preferred labels and synonyms were deduplicated at generation:
+        // nothing should be polysemic.
+        assert_eq!(stats.polysemic_total(), 0);
+    }
+
+    #[test]
+    fn children_often_share_parent_adjective() {
+        let (o, parts) = generate(300, 4);
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for c in o.concepts() {
+            for &p in &c.parents {
+                total += 1;
+                if parts[c.id.index()].0 == parts[p.index()].0 {
+                    shared += 1;
+                }
+            }
+        }
+        let rate = shared as f64 / total as f64;
+        assert!(rate > 0.3, "lexical inheritance rate {rate}");
+    }
+
+    #[test]
+    fn synonyms_present_at_expected_rate() {
+        let (o, _) = generate(400, 5);
+        let with_syn = o.concepts().iter().filter(|c| !c.synonyms.is_empty()).count();
+        let rate = with_syn as f64 / o.len() as f64;
+        // synonyms = 1.0 ⇒ P(at least one of 2 slots) = 0.75.
+        assert!((0.6..=0.9).contains(&rate), "synonym rate {rate}");
+    }
+
+    #[test]
+    fn hierarchy_queries_work() {
+        let (o, _) = generate(100, 6);
+        let root = o.roots()[0];
+        let desc = query::descendants(&o, root);
+        assert_eq!(desc.len(), o.len() - 1, "root reaches everything");
+    }
+
+    #[test]
+    fn french_labels_use_romance_order() {
+        let (o, parts) = MeshGenerator::new(
+            Language::French,
+            MeshConfig {
+                n_concepts: 20,
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .generate();
+        for c in o.concepts() {
+            let (adj, noun) = &parts[c.id.index()];
+            assert_eq!(c.preferred, format!("{noun} {adj}"));
+        }
+    }
+}

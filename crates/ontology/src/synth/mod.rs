@@ -1,0 +1,12 @@
+//! Synthetic terminology generators.
+//!
+//! * [`mesh`] — a MeSH-like is-a tree with synonym morphology, lexical
+//!   parent/child relatedness and seeded determinism;
+//! * [`umls`] — a UMLS-like flat terminology whose polysemy profile is
+//!   calibrated to hit given Table-1 targets.
+
+pub mod mesh;
+pub mod umls;
+
+pub use mesh::{MeshConfig, MeshGenerator};
+pub use umls::{PolysemyProfile, UmlsGenerator};

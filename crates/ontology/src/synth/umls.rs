@@ -1,0 +1,194 @@
+//! UMLS-like terminology with a calibrated polysemy profile.
+//!
+//! Table 1 of the paper reports, per language, how many UMLS/MeSH terms
+//! are attached to 2, 3, 4 or 5+ concepts. The real releases are licensed;
+//! this generator builds a terminology whose [`crate::polysemy`]
+//! statistics reproduce a *given* profile exactly, so the statistics
+//! machinery and the Table-1 experiment can be validated end to end.
+
+use crate::model::{Ontology, OntologyBuilder};
+use boe_textkit::Language;
+
+/// A polysemy target profile: total distinct terms plus polysemic-term
+/// counts for k = 2, 3, 4 and 5 ("5+" is generated as exactly 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolysemyProfile {
+    /// Total distinct terms to end up with.
+    pub total_terms: usize,
+    /// Polysemic terms with exactly 2, 3, 4, 5 senses.
+    pub counts: [usize; 4],
+}
+
+impl PolysemyProfile {
+    /// The paper's Table-1 UMLS row for `lang`, scaled down by `divisor`
+    /// (the English release has ~9.9M distinct terms; experiments use a
+    /// 1/100 scale by default).
+    pub fn umls(lang: Language, divisor: usize) -> Self {
+        assert!(divisor >= 1);
+        let (total, counts) = match lang {
+            Language::English => (9_919_000usize, [54_257usize, 7_770, 1_842, 1_677]),
+            // FR/ES UMLS sizes (order-of-magnitude realistic; Table 1 only
+            // reports the polysemic counts).
+            Language::French => (330_000, [1_292, 36, 1, 1]),
+            Language::Spanish => (1_200_000, [10_906, 414, 56, 18]),
+        };
+        PolysemyProfile {
+            total_terms: (total / divisor).max(1),
+            counts: counts.map(|c| c / divisor),
+        }
+    }
+
+    /// The paper's Table-1 MeSH row for `lang` (no scaling needed).
+    pub fn mesh(lang: Language) -> Self {
+        let (total, counts) = match lang {
+            Language::English => (260_000usize, [178usize, 1, 0, 0]),
+            Language::French => (26_000, [11, 0, 0, 0]),
+            Language::Spanish => (25_000, [0, 0, 0, 0]),
+        };
+        PolysemyProfile {
+            total_terms: total,
+            counts,
+        }
+    }
+
+    /// Minimum number of distinct terms this profile requires (polysemic
+    /// shared terms + unique preferred terms of their concepts).
+    pub fn min_terms(&self) -> usize {
+        let shared: usize = self.counts.iter().sum();
+        let concepts: usize = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i + 2) * c)
+            .sum();
+        shared + concepts
+    }
+}
+
+/// Generator of UMLS-like terminologies.
+#[derive(Debug)]
+pub struct UmlsGenerator {
+    lang: Language,
+    profile: PolysemyProfile,
+}
+
+impl UmlsGenerator {
+    /// A generator for `lang` targeting `profile`.
+    ///
+    /// # Panics
+    /// Panics if the profile is unsatisfiable
+    /// (`total_terms < profile.min_terms()`).
+    pub fn new(lang: Language, profile: PolysemyProfile) -> Self {
+        assert!(
+            profile.total_terms >= profile.min_terms(),
+            "profile needs at least {} terms, got {}",
+            profile.min_terms(),
+            profile.total_terms
+        );
+        UmlsGenerator { lang, profile }
+    }
+
+    /// Generate the terminology. Term strings are systematic
+    /// (`shared-k3-17`, `mono-421`); Table-1 experiments only consume the
+    /// counts, and systematic naming keeps generation O(total_terms) and
+    /// collision-free.
+    pub fn generate(&self) -> Ontology {
+        let mut b = OntologyBuilder::new(format!("UMLS-like ({})", self.lang), self.lang);
+        let mut distinct_terms = 0usize;
+        // Polysemic structure: each shared term appears as a synonym of k
+        // concepts, each concept having its own unique preferred term.
+        for (i, &count) in self.profile.counts.iter().enumerate() {
+            let k = i + 2;
+            for t in 0..count {
+                let shared = format!("shared-k{k}-{t}");
+                distinct_terms += 1;
+                for s in 0..k {
+                    b.add_concept(format!("sense-k{k}-{t}-{s}"), vec![shared.clone()]);
+                    distinct_terms += 1;
+                }
+            }
+        }
+        // Monosemous filler up to the target.
+        let mut m = 0usize;
+        while distinct_terms < self.profile.total_terms {
+            b.add_concept(format!("mono-{m}"), vec![]);
+            m += 1;
+            distinct_terms += 1;
+        }
+        b.build().expect("flat terminology cannot cycle")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polysemy::PolysemyStats;
+
+    #[test]
+    fn profile_is_reproduced_exactly() {
+        let profile = PolysemyProfile {
+            total_terms: 5_000,
+            counts: [40, 10, 4, 2],
+        };
+        let onto = UmlsGenerator::new(Language::English, profile).generate();
+        let stats = PolysemyStats::compute(&onto);
+        assert_eq!(stats.table1_row(), [40, 10, 4, 2]);
+        assert_eq!(stats.total_terms, 5_000);
+    }
+
+    #[test]
+    fn umls_scaled_profile_shapes() {
+        for lang in Language::ALL {
+            let p = PolysemyProfile::umls(lang, 100);
+            let onto = UmlsGenerator::new(lang, p).generate();
+            let stats = PolysemyStats::compute(&onto);
+            assert_eq!(stats.table1_row(), p.counts, "{lang}");
+            // Decaying-in-k shape.
+            let row = stats.table1_row();
+            assert!(row[0] >= row[1] && row[1] >= row[2], "{lang}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn english_polysemic_ratio_is_about_one_in_200() {
+        let p = PolysemyProfile::umls(Language::English, 100);
+        let onto = UmlsGenerator::new(Language::English, p).generate();
+        let stats = PolysemyStats::compute(&onto);
+        let ratio = stats.polysemic_ratio();
+        assert!(
+            (1.0 / 400.0..=1.0 / 100.0).contains(&ratio),
+            "ratio {ratio} (~1/{})",
+            (1.0 / ratio) as usize
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "profile needs")]
+    fn unsatisfiable_profile_panics() {
+        let p = PolysemyProfile {
+            total_terms: 3,
+            counts: [5, 0, 0, 0],
+        };
+        let _ = UmlsGenerator::new(Language::English, p);
+    }
+
+    #[test]
+    fn mesh_profiles_match_paper_counts() {
+        let en = PolysemyProfile::mesh(Language::English);
+        assert_eq!(en.counts, [178, 1, 0, 0]);
+        let fr = PolysemyProfile::mesh(Language::French);
+        assert_eq!(fr.counts, [11, 0, 0, 0]);
+        let es = PolysemyProfile::mesh(Language::Spanish);
+        assert_eq!(es.counts, [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn min_terms_formula() {
+        let p = PolysemyProfile {
+            total_terms: 100,
+            counts: [2, 1, 0, 0],
+        };
+        // shared: 3; concepts: 2*2 + 3*1 = 7 → 10.
+        assert_eq!(p.min_terms(), 10);
+    }
+}

@@ -1,0 +1,107 @@
+//! Language identifiers.
+//!
+//! The paper's workflow is applied to English, French and Spanish; every
+//! language-sensitive component in this workspace (stopwords, stemmers,
+//! POS lexicons, linguistic patterns, synthetic generators) is keyed by
+//! [`Language`].
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The three languages the EDBT-2016 workflow targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Language {
+    /// English (`en`).
+    English,
+    /// French (`fr`).
+    French,
+    /// Spanish (`es`).
+    Spanish,
+}
+
+impl Language {
+    /// All supported languages, in a stable order.
+    pub const ALL: [Language; 3] = [Language::English, Language::French, Language::Spanish];
+
+    /// ISO-639-1 code (`"en"`, `"fr"`, `"es"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::French => "fr",
+            Language::Spanish => "es",
+        }
+    }
+
+    /// Human-readable English name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Language::English => "English",
+            Language::French => "French",
+            Language::Spanish => "Spanish",
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Error returned when parsing an unknown language code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownLanguage(pub String);
+
+impl fmt::Display for UnknownLanguage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown language code: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownLanguage {}
+
+impl FromStr for Language {
+    type Err = UnknownLanguage;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "en" | "eng" | "english" => Ok(Language::English),
+            "fr" | "fra" | "fre" | "french" => Ok(Language::French),
+            "es" | "spa" | "spanish" => Ok(Language::Spanish),
+            other => Err(UnknownLanguage(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for lang in Language::ALL {
+            assert_eq!(lang.code().parse::<Language>().unwrap(), lang);
+        }
+    }
+
+    #[test]
+    fn parses_long_names_case_insensitively() {
+        assert_eq!("English".parse::<Language>().unwrap(), Language::English);
+        assert_eq!("FRENCH".parse::<Language>().unwrap(), Language::French);
+        assert_eq!("Spanish".parse::<Language>().unwrap(), Language::Spanish);
+    }
+
+    #[test]
+    fn unknown_code_is_an_error() {
+        let err = "de".parse::<Language>().unwrap_err();
+        assert_eq!(err, UnknownLanguage("de".into()));
+        assert!(err.to_string().contains("de"));
+    }
+
+    #[test]
+    fn display_matches_code() {
+        assert_eq!(Language::English.to_string(), "en");
+        assert_eq!(Language::French.to_string(), "fr");
+        assert_eq!(Language::Spanish.to_string(), "es");
+    }
+}

@@ -1,0 +1,121 @@
+//! N-gram extraction over token sequences.
+
+use crate::token::Token;
+
+/// An n-gram: a contiguous run of token texts joined by single spaces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ngram {
+    /// The joined surface form.
+    pub text: String,
+    /// Start token index in the source sequence.
+    pub start: usize,
+    /// Number of tokens.
+    pub len: usize,
+}
+
+/// Extract all n-grams of length `min_n..=max_n` whose tokens are all
+/// lexical (words/numbers/identifiers — no punctuation inside an n-gram).
+pub fn extract(tokens: &[Token], min_n: usize, max_n: usize) -> Vec<Ngram> {
+    assert!(min_n >= 1, "min_n must be at least 1");
+    assert!(min_n <= max_n, "min_n must not exceed max_n");
+    let mut out = Vec::new();
+    let n = tokens.len();
+    for start in 0..n {
+        if !tokens[start].kind.is_lexical() {
+            continue;
+        }
+        let mut text = String::new();
+        for len in 1..=max_n.min(n - start) {
+            let tok = &tokens[start + len - 1];
+            if !tok.kind.is_lexical() {
+                break;
+            }
+            if len > 1 {
+                text.push(' ');
+            }
+            text.push_str(&tok.text);
+            if len >= min_n {
+                out.push(Ngram {
+                    text: text.clone(),
+                    start,
+                    len,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Join a token slice into an n-gram surface form.
+pub fn join(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::Language;
+    use crate::tokenizer::Tokenizer;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Tokenizer::new(Language::English).tokenize(s)
+    }
+
+    #[test]
+    fn unigrams_and_bigrams() {
+        let grams = extract(&toks("corneal injury repair"), 1, 2);
+        let texts: Vec<&str> = grams.iter().map(|g| g.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "corneal",
+                "corneal injury",
+                "injury",
+                "injury repair",
+                "repair"
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_blocks_ngrams() {
+        let grams = extract(&toks("injury, repair"), 2, 2);
+        assert!(grams.is_empty());
+    }
+
+    #[test]
+    fn start_indices_are_correct() {
+        let tokens = toks("acute corneal injury");
+        let grams = extract(&tokens, 3, 3);
+        assert_eq!(grams.len(), 1);
+        assert_eq!(grams[0].start, 0);
+        assert_eq!(grams[0].len, 3);
+        assert_eq!(grams[0].text, "acute corneal injury");
+    }
+
+    #[test]
+    fn join_tokens() {
+        let tokens = toks("eye injuries");
+        assert_eq!(join(&tokens), "eye injuries");
+        assert_eq!(join(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "min_n")]
+    fn zero_min_n_panics() {
+        let _ = extract(&[], 0, 2);
+    }
+
+    #[test]
+    fn max_n_longer_than_input() {
+        let grams = extract(&toks("cornea"), 1, 5);
+        assert_eq!(grams.len(), 1);
+    }
+}

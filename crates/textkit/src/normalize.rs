@@ -1,0 +1,115 @@
+//! Case and accent normalization.
+//!
+//! The workflow compares surface strings across corpora, ontologies and
+//! languages; normalization keeps those comparisons stable. Two levels are
+//! provided:
+//!
+//! * [`fold_case`] — Unicode-aware lower-casing (what the tokenizer applies);
+//! * [`fold_accents`] — maps the Latin-1/Latin-Extended accented letters used
+//!   by French and Spanish onto their ASCII bases (`é → e`, `ñ → n`), which
+//!   the matching layer uses when aligning corpus terms with ontology labels.
+
+/// Lower-case a string (Unicode-aware).
+pub fn fold_case(s: &str) -> String {
+    s.to_lowercase()
+}
+
+/// Map one character to its unaccented base, if it is an accented Latin
+/// letter common in French/Spanish biomedical text; otherwise return the
+/// character unchanged.
+pub fn fold_accent_char(c: char) -> char {
+    match c {
+        'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' => 'a',
+        'é' | 'è' | 'ê' | 'ë' => 'e',
+        'í' | 'ì' | 'î' | 'ï' => 'i',
+        'ó' | 'ò' | 'ô' | 'ö' | 'õ' => 'o',
+        'ú' | 'ù' | 'û' | 'ü' => 'u',
+        'ý' | 'ÿ' => 'y',
+        'ñ' => 'n',
+        'ç' => 'c',
+        'œ' => 'o', // approximation: œdème → oedeme handled by fold_accents
+        'æ' => 'a',
+        'Á' | 'À' | 'Â' | 'Ä' | 'Ã' | 'Å' => 'A',
+        'É' | 'È' | 'Ê' | 'Ë' => 'E',
+        'Í' | 'Ì' | 'Î' | 'Ï' => 'I',
+        'Ó' | 'Ò' | 'Ô' | 'Ö' | 'Õ' => 'O',
+        'Ú' | 'Ù' | 'Û' | 'Ü' => 'U',
+        'Ñ' => 'N',
+        'Ç' => 'C',
+        other => other,
+    }
+}
+
+/// Replace accented Latin letters with their ASCII bases. Ligatures `œ`/`æ`
+/// expand to two letters (`oe`, `ae`).
+pub fn fold_accents(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            'œ' => out.push_str("oe"),
+            'Œ' => out.push_str("OE"),
+            'æ' => out.push_str("ae"),
+            'Æ' => out.push_str("AE"),
+            other => out.push(fold_accent_char(other)),
+        }
+    }
+    out
+}
+
+/// Full normalization used for cross-resource string matching: lower-case
+/// then accent-fold, collapsing internal whitespace runs to single spaces.
+pub fn match_key(s: &str) -> String {
+    let lowered = fold_case(s);
+    let folded = fold_accents(&lowered);
+    let mut out = String::with_capacity(folded.len());
+    let mut last_was_space = true; // trims leading whitespace
+    for c in folded.chars() {
+        if c.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            out.push(c);
+            last_was_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_french_accents() {
+        assert_eq!(fold_accents("hépatite aiguë"), "hepatite aigue");
+        assert_eq!(fold_accents("œdème"), "oedeme");
+    }
+
+    #[test]
+    fn folds_spanish_accents() {
+        assert_eq!(fold_accents("riñón"), "rinon");
+        assert_eq!(fold_accents("corazón"), "corazon");
+    }
+
+    #[test]
+    fn match_key_normalizes_case_space_and_accents() {
+        assert_eq!(match_key("  Hépatite   C  "), "hepatite c");
+        assert_eq!(match_key("Corneal\tInjuries"), "corneal injuries");
+    }
+
+    #[test]
+    fn ascii_is_untouched() {
+        assert_eq!(fold_accents("corneal injuries"), "corneal injuries");
+    }
+
+    #[test]
+    fn match_key_of_empty_is_empty() {
+        assert_eq!(match_key(""), "");
+        assert_eq!(match_key("   "), "");
+    }
+}

@@ -1,0 +1,17 @@
+//! Part-of-speech tagging.
+//!
+//! BIOTEX's linguistic filter keeps only token sequences that match noun-
+//! phrase patterns; that requires POS tags. The paper used TreeTagger;
+//! here we build a deterministic **lexicon + suffix-rule tagger** (see
+//! DESIGN.md substitution #7): closed-class words come from per-language
+//! lexicons, open-class words are classified by derivational suffix, and
+//! the default class is *noun* — which is both the correct prior in
+//! biomedical abstracts and the behaviour the synthetic corpus generator
+//! is calibrated against.
+
+pub mod lexicon;
+pub mod tagger;
+pub mod tags;
+
+pub use tagger::PosTagger;
+pub use tags::PosTag;

@@ -1,0 +1,187 @@
+//! The POS tagger: lexicon lookup → suffix rules → contextual repair →
+//! noun default.
+
+use crate::lang::Language;
+use crate::pos::lexicon::Lexicon;
+use crate::pos::tags::PosTag;
+use crate::token::{Token, TokenKind};
+
+/// Deterministic POS tagger (see module docs of [`crate::pos`]).
+#[derive(Debug, Clone)]
+pub struct PosTagger {
+    lang: Language,
+    lexicon: Lexicon,
+}
+
+impl PosTagger {
+    /// Build a tagger for `lang`.
+    pub fn new(lang: Language) -> Self {
+        PosTagger {
+            lang,
+            lexicon: Lexicon::for_language(lang),
+        }
+    }
+
+    /// The tagger's language.
+    pub fn language(&self) -> Language {
+        self.lang
+    }
+
+    /// Tag a token sequence. Output length equals input length.
+    pub fn tag(&self, tokens: &[Token]) -> Vec<PosTag> {
+        let mut tags: Vec<PosTag> = tokens.iter().map(|t| self.tag_one(t)).collect();
+        self.repair(tokens, &mut tags);
+        tags
+    }
+
+    /// Context-free classification of one token.
+    fn tag_one(&self, token: &Token) -> PosTag {
+        match token.kind {
+            TokenKind::Punctuation => PosTag::Punctuation,
+            TokenKind::Number => PosTag::Number,
+            TokenKind::Other => PosTag::Other,
+            TokenKind::Alphanumeric => PosTag::Noun, // p53, covid-19 ⇒ nominal
+            TokenKind::Word => {
+                if let Some(tag) = self.lexicon.lookup(&token.text) {
+                    tag
+                } else if let Some(tag) = self.lexicon.by_suffix(&token.text) {
+                    tag
+                } else {
+                    // Open-class default: noun. Biomedical abstracts are
+                    // ~60% nominal and unknown tokens are overwhelmingly
+                    // domain nouns.
+                    PosTag::Noun
+                }
+            }
+        }
+    }
+
+    /// Small set of contextual repairs that fix the suffix rules' most
+    /// damaging systematic errors inside noun phrases.
+    fn repair(&self, tokens: &[Token], tags: &mut [PosTag]) {
+        for i in 0..tags.len() {
+            // Participle between determiner/adjective and noun behaves as an
+            // adjective: "the injured cornea".
+            if tags[i] == PosTag::Verb
+                && (tokens[i].text.ends_with("ed") || tokens[i].text.ends_with("ing"))
+                && i + 1 < tags.len()
+                && tags[i + 1] == PosTag::Noun
+                && i > 0
+                && matches!(tags[i - 1], PosTag::Determiner | PosTag::Adjective)
+            {
+                tags[i] = PosTag::Adjective;
+            }
+            // Sentence-initial capital verbs misclassified as nouns are
+            // beyond a rule tagger; but noun directly after a pronoun and
+            // before a determiner is almost surely a verb ("it causes the").
+            if tags[i] == PosTag::Noun
+                && i > 0
+                && tags[i - 1] == PosTag::Pronoun
+                && i + 1 < tags.len()
+                && tags[i + 1] == PosTag::Determiner
+            {
+                tags[i] = PosTag::Verb;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn tag_sentence(lang: Language, s: &str) -> Vec<(String, PosTag)> {
+        let toks = Tokenizer::new(lang).tokenize(s);
+        let tagger = PosTagger::new(lang);
+        let tags = tagger.tag(&toks);
+        toks.into_iter()
+            .zip(tags)
+            .map(|(t, g)| (t.text, g))
+            .collect()
+    }
+
+    #[test]
+    fn english_noun_phrase() {
+        let tagged = tag_sentence(Language::English, "the acute corneal injury");
+        let tags: Vec<PosTag> = tagged.iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            tags,
+            vec![
+                PosTag::Determiner,
+                PosTag::Adjective,
+                PosTag::Adjective,
+                PosTag::Noun
+            ]
+        );
+    }
+
+    #[test]
+    fn english_prepositional_np() {
+        let tagged = tag_sentence(Language::English, "carcinoma of the liver");
+        let tags: Vec<PosTag> = tagged.iter().map(|(_, t)| *t).collect();
+        assert_eq!(
+            tags,
+            vec![
+                PosTag::Noun,
+                PosTag::Preposition,
+                PosTag::Determiner,
+                PosTag::Noun
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_word_defaults_to_noun() {
+        let tagged = tag_sentence(Language::English, "zygomaticus");
+        assert_eq!(tagged[0].1, PosTag::Noun);
+    }
+
+    #[test]
+    fn participial_adjective_repair() {
+        let tagged = tag_sentence(Language::English, "the injured cornea");
+        assert_eq!(tagged[1].1, PosTag::Adjective);
+    }
+
+    #[test]
+    fn numbers_and_punctuation() {
+        let tagged = tag_sentence(Language::English, "grade 3 injury.");
+        assert_eq!(tagged[1].1, PosTag::Number);
+        assert_eq!(tagged[3].1, PosTag::Punctuation);
+    }
+
+    #[test]
+    fn french_noun_phrase() {
+        let tagged = tag_sentence(Language::French, "l'hépatite chronique du foie");
+        let tags: Vec<PosTag> = tagged.iter().map(|(_, t)| *t).collect();
+        assert_eq!(tags[0], PosTag::Determiner);
+        assert_eq!(tags[1], PosTag::Noun);
+        assert_eq!(tags[2], PosTag::Adjective);
+        assert_eq!(tags[3], PosTag::Preposition);
+        assert_eq!(tags[4], PosTag::Noun);
+    }
+
+    #[test]
+    fn spanish_noun_phrase() {
+        let tagged = tag_sentence(Language::Spanish, "la infección crónica del hígado");
+        let tags: Vec<PosTag> = tagged.iter().map(|(_, t)| *t).collect();
+        assert_eq!(tags[0], PosTag::Determiner);
+        assert_eq!(tags[1], PosTag::Noun);
+        assert_eq!(tags[2], PosTag::Adjective);
+        assert_eq!(tags[3], PosTag::Preposition);
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let toks = Tokenizer::new(Language::English)
+            .tokenize("Corneal injuries are treated with amniotic membrane grafts.");
+        let tags = PosTagger::new(Language::English).tag(&toks);
+        assert_eq!(tags.len(), toks.len());
+    }
+
+    #[test]
+    fn alphanumeric_is_nominal() {
+        let tagged = tag_sentence(Language::English, "p53 expression");
+        assert_eq!(tagged[0].1, PosTag::Noun);
+    }
+}

@@ -1,0 +1,160 @@
+//! The coarse POS tag set.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Coarse part-of-speech tags — the granularity the linguistic term
+/// patterns need (cf. the BIOTEX pattern inventory, which is defined over
+/// {N, A, P, C, D, V, ...}).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PosTag {
+    /// Noun (common or proper).
+    Noun,
+    /// Verb (all inflections).
+    Verb,
+    /// Adjective (including participial adjectives in NP context).
+    Adjective,
+    /// Adverb.
+    Adverb,
+    /// Determiner / article.
+    Determiner,
+    /// Preposition.
+    Preposition,
+    /// Coordinating or subordinating conjunction.
+    Conjunction,
+    /// Pronoun.
+    Pronoun,
+    /// Numeral.
+    Number,
+    /// Punctuation.
+    Punctuation,
+    /// Anything else (symbols, foreign material).
+    Other,
+}
+
+impl PosTag {
+    /// All tags, in a stable order.
+    pub const ALL: [PosTag; 11] = [
+        PosTag::Noun,
+        PosTag::Verb,
+        PosTag::Adjective,
+        PosTag::Adverb,
+        PosTag::Determiner,
+        PosTag::Preposition,
+        PosTag::Conjunction,
+        PosTag::Pronoun,
+        PosTag::Number,
+        PosTag::Punctuation,
+        PosTag::Other,
+    ];
+
+    /// Single-letter code used in pattern strings (`"N A N"` etc.).
+    pub fn code(self) -> char {
+        match self {
+            PosTag::Noun => 'N',
+            PosTag::Verb => 'V',
+            PosTag::Adjective => 'A',
+            PosTag::Adverb => 'R',
+            PosTag::Determiner => 'D',
+            PosTag::Preposition => 'P',
+            PosTag::Conjunction => 'C',
+            PosTag::Pronoun => 'O',
+            PosTag::Number => 'M',
+            PosTag::Punctuation => 'U',
+            PosTag::Other => 'X',
+        }
+    }
+
+    /// Parse a single-letter code.
+    pub fn from_code(c: char) -> Option<PosTag> {
+        Some(match c.to_ascii_uppercase() {
+            'N' => PosTag::Noun,
+            'V' => PosTag::Verb,
+            'A' => PosTag::Adjective,
+            'R' => PosTag::Adverb,
+            'D' => PosTag::Determiner,
+            'P' => PosTag::Preposition,
+            'C' => PosTag::Conjunction,
+            'O' => PosTag::Pronoun,
+            'M' => PosTag::Number,
+            'U' => PosTag::Punctuation,
+            'X' => PosTag::Other,
+            _ => return None,
+        })
+    }
+
+    /// Can this tag appear inside a candidate term at all?
+    pub fn is_term_internal(self) -> bool {
+        matches!(
+            self,
+            PosTag::Noun | PosTag::Adjective | PosTag::Preposition | PosTag::Number
+        )
+    }
+}
+
+impl fmt::Display for PosTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Error for unknown tag codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTag(pub char);
+
+impl fmt::Display for UnknownTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown POS tag code {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTag {}
+
+impl FromStr for PosTag {
+    type Err = UnknownTag;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => PosTag::from_code(c).ok_or(UnknownTag(c)),
+            _ => Err(UnknownTag(s.chars().next().unwrap_or('?'))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for tag in PosTag::ALL {
+            assert_eq!(PosTag::from_code(tag.code()), Some(tag));
+            assert_eq!(tag.code().to_string().parse::<PosTag>().unwrap(), tag);
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for tag in PosTag::ALL {
+            assert!(seen.insert(tag.code()), "duplicate code {}", tag.code());
+        }
+    }
+
+    #[test]
+    fn term_internal_tags() {
+        assert!(PosTag::Noun.is_term_internal());
+        assert!(PosTag::Adjective.is_term_internal());
+        assert!(PosTag::Preposition.is_term_internal());
+        assert!(!PosTag::Verb.is_term_internal());
+        assert!(!PosTag::Determiner.is_term_internal());
+    }
+
+    #[test]
+    fn unknown_code() {
+        assert_eq!(PosTag::from_code('Z'), None);
+        assert!("Z".parse::<PosTag>().is_err());
+        assert!("NA".parse::<PosTag>().is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Sentence segmentation.
+//!
+//! Splits running text into sentences on `.`, `!`, `?` and newlines, with
+//! an abbreviation guard (common biomedical/bibliographic abbreviations and
+//! single-letter initials do not end a sentence). Good enough for abstract
+//! style prose; the synthetic corpus generator emits exactly this style.
+
+/// Abbreviations that should not terminate a sentence (lower-case, without
+/// the trailing dot).
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "fig", "figs", "eq", "eqs", "ref", "refs", "et", "al",
+    "etc", "vs", "e.g", "i.e", "cf", "ca", "approx", "resp", "no", "nos", "vol", "pp", "inc",
+    "st", "mg", "ml", "kg", "dl",
+];
+
+/// Split `text` into sentence substrings (trimmed, non-empty).
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut sentences = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let is_break = match b {
+            b'!' | b'?' => true,
+            b'\n' => true,
+            b'.' => !is_abbreviation(text, i) && !is_decimal_point(bytes, i),
+            _ => false,
+        };
+        if is_break {
+            // Consume any run of closing punctuation after the breaker.
+            let mut end = i + 1;
+            while end < bytes.len() && matches!(bytes[end], b'"' | b')' | b']' | b'.') {
+                end += 1;
+            }
+            let s = text[start..end].trim();
+            if !s.is_empty() {
+                sentences.push(s);
+            }
+            start = end;
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        sentences.push(tail);
+    }
+    sentences
+}
+
+/// Is the `.` at byte `dot` part of a known abbreviation or an initial?
+fn is_abbreviation(text: &str, dot: usize) -> bool {
+    // Find the word immediately before the dot.
+    let before = &text[..dot];
+    let word_start = before
+        .rfind(|c: char| !c.is_alphanumeric() && c != '.')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let word = &before[word_start..];
+    if word.is_empty() {
+        return false;
+    }
+    // Single-letter initial ("J." in "J. A. Lossio").
+    if word.chars().count() == 1 && word.chars().next().is_some_and(|c| c.is_alphabetic()) {
+        return true;
+    }
+    let lower = word.to_lowercase();
+    ABBREVIATIONS.contains(&lower.as_str())
+}
+
+/// Is the `.` at byte `dot` a decimal point (digit on both sides)?
+fn is_decimal_point(bytes: &[u8], dot: usize) -> bool {
+    dot > 0
+        && dot + 1 < bytes.len()
+        && bytes[dot - 1].is_ascii_digit()
+        && bytes[dot + 1].is_ascii_digit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_sentences() {
+        let s = split_sentences("Hepatitis is viral. Cirrhosis follows. Treatment helps!");
+        assert_eq!(
+            s,
+            vec![
+                "Hepatitis is viral.",
+                "Cirrhosis follows.",
+                "Treatment helps!"
+            ]
+        );
+    }
+
+    #[test]
+    fn keeps_abbreviations_together() {
+        let s = split_sentences("Samples were collected by Dr. Smith et al. in 2014.");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn keeps_decimals_together() {
+        let s = split_sentences("The dose was 3.5 mg daily. Outcomes improved.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("3.5"));
+    }
+
+    #[test]
+    fn newline_breaks_sentences() {
+        let s = split_sentences("Title line\nBody sentence.");
+        assert_eq!(s, vec!["Title line", "Body sentence."]);
+    }
+
+    #[test]
+    fn single_letter_initials() {
+        let s = split_sentences("Written by J. A. Lossio-Ventura. It was published.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("  \n  ").is_empty());
+    }
+
+    #[test]
+    fn question_marks_split() {
+        let s = split_sentences("Is it viral? Yes.");
+        assert_eq!(s, vec!["Is it viral?", "Yes."]);
+    }
+}

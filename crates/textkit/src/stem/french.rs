@@ -1,0 +1,111 @@
+//! Light French stemmer.
+//!
+//! Follows the spirit of Savoy's light stemmer for French IR: strip plural
+//! and feminine inflection plus a handful of very productive derivational
+//! endings, without attempting full Snowball morphology. Light stemming is
+//! what the paper's context-vector comparisons need — aggressive stemming
+//! hurts precision on biomedical terms.
+
+/// Stem one lower-case French word.
+pub fn stem(word: &str) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() <= 3 || !chars.iter().all(|c| c.is_alphabetic() || *c == '-') {
+        return word.to_owned();
+    }
+    let mut w: String = word.to_owned();
+
+    // Plural / feminine-plural endings, longest first.
+    w = strip_one(&w, &["eaux"], "eau");
+    w = strip_one(&w, &["aux"], "al");
+    for suf in ["ées", "ères", "ions", "ment"] {
+        if let Some(stripped) = try_strip(&w, suf, 4) {
+            w = stripped;
+            break;
+        }
+    }
+    for suf in ["és", "ée", "es", "er", "ez"] {
+        if let Some(stripped) = try_strip(&w, suf, 4) {
+            w = stripped;
+            break;
+        }
+    }
+    if let Some(stripped) = try_strip(&w, "s", 4) {
+        w = stripped;
+    }
+    if let Some(stripped) = try_strip(&w, "e", 4) {
+        w = stripped;
+    }
+    // Collapse doubled final consonant left by stripping (-elle → -ell → -el).
+    let cs: Vec<char> = w.chars().collect();
+    if cs.len() >= 2 && cs[cs.len() - 1] == cs[cs.len() - 2] && !is_vowel(cs[cs.len() - 1]) {
+        w.pop();
+    }
+    w
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(
+        c,
+        'a' | 'e' | 'i' | 'o' | 'u' | 'y' | 'é' | 'è' | 'ê' | 'à' | 'â' | 'î' | 'ô' | 'û' | 'ù'
+    )
+}
+
+/// Strip `suffix` if the remaining stem keeps at least `min_stem` chars.
+fn try_strip(w: &str, suffix: &str, min_stem: usize) -> Option<String> {
+    let stripped = w.strip_suffix(suffix)?;
+    if stripped.chars().count() >= min_stem {
+        Some(stripped.to_owned())
+    } else {
+        None
+    }
+}
+
+/// Replace the first matching suffix in `sufs` with `rep`.
+fn strip_one(w: &str, sufs: &[&str], rep: &str) -> String {
+    for suf in sufs {
+        if let Some(stem) = w.strip_suffix(suf) {
+            if stem.chars().count() >= 2 {
+                return format!("{stem}{rep}");
+            }
+        }
+    }
+    w.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_conflation() {
+        assert_eq!(stem("maladies"), stem("maladie"));
+        assert_eq!(stem("chevaux"), "cheval");
+        assert_eq!(stem("tumeurs"), stem("tumeur"));
+    }
+
+    #[test]
+    fn feminine_conflation() {
+        assert_eq!(stem("chronique"), stem("chroniques"));
+        assert_eq!(stem("virales"), stem("viral"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("foie"), "foie");
+        assert_eq!(stem("os"), "os");
+    }
+
+    #[test]
+    fn biomedical_examples() {
+        assert_eq!(stem("hépatiques"), stem("hépatique"));
+        assert_eq!(stem("cardiaques"), stem("cardiaque"));
+    }
+
+    #[test]
+    fn idempotent() {
+        for w in ["maladies", "hépatiques", "chevaux", "chroniques"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "{w}");
+        }
+    }
+}

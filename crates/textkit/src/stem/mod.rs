@@ -1,0 +1,49 @@
+//! Stemming.
+//!
+//! Context vectors and bag-of-words representations (Steps III/IV of the
+//! workflow) conflate inflectional variants via stemming:
+//!
+//! * English — the full Porter (1980) algorithm ([`porter`]);
+//! * French — a light suffix stemmer in the spirit of Savoy (2002)
+//!   ([`french`]);
+//! * Spanish — a light suffix stemmer ([`spanish`]).
+
+pub mod french;
+pub mod porter;
+pub mod spanish;
+
+use crate::lang::Language;
+
+/// Stem `word` (already lower-cased) according to `lang`.
+pub fn stem(lang: Language, word: &str) -> String {
+    match lang {
+        Language::English => porter::stem(word),
+        Language::French => french::stem(word),
+        Language::Spanish => spanish::stem(word),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_by_language() {
+        assert_eq!(stem(Language::English, "injuries"), "injuri");
+        assert_eq!(stem(Language::French, "maladies"), "maladi");
+        assert_eq!(stem(Language::Spanish, "enfermedades"), "enfermedad");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_samples() {
+        for (lang, w) in [
+            (Language::English, "relational"),
+            (Language::French, "hépatiques"),
+            (Language::Spanish, "crónicas"),
+        ] {
+            let once = stem(lang, w);
+            let twice = stem(lang, &once);
+            assert_eq!(once, twice, "{lang}: {w}");
+        }
+    }
+}

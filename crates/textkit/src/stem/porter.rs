@@ -1,0 +1,413 @@
+//! The Porter stemming algorithm (M. F. Porter, 1980), implemented from the
+//! original paper's rule tables.
+//!
+//! Operates on lower-case ASCII words; tokens containing non-ASCII bytes or
+//! digits are returned unchanged (biomedical identifiers like `p53` must
+//! not be mangled).
+
+/// Stem one lower-case word.
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len(),
+    };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    String::from_utf8(s.b[..s.k].to_vec()).expect("ascii in, ascii out")
+}
+
+struct Stemmer {
+    /// Working buffer; only `b[..k]` is live.
+    b: Vec<u8>,
+    k: usize,
+}
+
+impl Stemmer {
+    /// Is `b[i]` a consonant (Porter's definition: `y` is a consonant when
+    /// preceded by a vowel position... precisely, when at 0 or after a
+    /// vowel-position)?
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.is_consonant(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// m(): the number of VC sequences in `b[..j]` (Porter's *measure* of
+    /// the stem that precedes the candidate suffix ending at `j`).
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        while i < j {
+            if !self.is_consonant(i) {
+                break;
+            }
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < j {
+                if self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i >= j {
+                return n;
+            }
+            n += 1;
+            // Skip consonants.
+            while i < j {
+                if !self.is_consonant(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i >= j {
+                return n;
+            }
+        }
+    }
+
+    /// Does `b[..j]` contain a vowel?
+    fn has_vowel(&self, j: usize) -> bool {
+        (0..j).any(|i| !self.is_consonant(i))
+    }
+
+    /// Does `b[..k]` end with a double consonant?
+    fn double_consonant(&self, k: usize) -> bool {
+        k >= 2 && self.b[k - 1] == self.b[k - 2] && self.is_consonant(k - 1)
+    }
+
+    /// cvc test at position `i` (0-based index of last char): consonant -
+    /// vowel - consonant, where the final consonant is not w, x or y.
+    /// Used to restore a trailing `e` (hop → hope is prevented; fil → file).
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2)
+        {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    fn ends_with(&self, suffix: &str) -> bool {
+        let s = suffix.as_bytes();
+        self.k >= s.len() && &self.b[self.k - s.len()..self.k] == s
+    }
+
+    /// If the live word ends with `suffix`, return the stem length
+    /// (index just before the suffix), else None.
+    fn stem_end(&self, suffix: &str) -> Option<usize> {
+        if self.ends_with(suffix) {
+            Some(self.k - suffix.len())
+        } else {
+            None
+        }
+    }
+
+    /// Replace the suffix ending the word with `rep`, shrinking/extending
+    /// the live region.
+    fn set_suffix(&mut self, stem_len: usize, rep: &str) {
+        self.b.truncate(stem_len);
+        self.b.extend_from_slice(rep.as_bytes());
+        self.k = self.b.len();
+    }
+
+    /// `(m > threshold)`-guarded replacement; returns true if a rule fired
+    /// (whether or not the guard passed — Porter's rules match the longest
+    /// suffix first and stop).
+    fn replace_if_measure(&mut self, suffix: &str, rep: &str, min_m: usize) -> bool {
+        if let Some(j) = self.stem_end(suffix) {
+            if self.measure(j) > min_m {
+                self.set_suffix(j, rep);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    // Step 1a: plurals. SSES→SS, IES→I, SS→SS, S→(drop)
+    fn step1a(&mut self) {
+        if let Some(j) = self.stem_end("sses") {
+            self.set_suffix(j, "ss");
+        } else if let Some(j) = self.stem_end("ies") {
+            self.set_suffix(j, "i");
+        } else if self.ends_with("ss") {
+            // keep
+        } else if let Some(j) = self.stem_end("s") {
+            self.set_suffix(j, "");
+        }
+    }
+
+    // Step 1b: -ed / -ing.
+    fn step1b(&mut self) {
+        if let Some(j) = self.stem_end("eed") {
+            if self.measure(j) > 0 {
+                self.set_suffix(j + 2, ""); // eed → ee
+            }
+            return;
+        }
+        let fired = if let Some(j) = self.stem_end("ed") {
+            if self.has_vowel(j) {
+                self.set_suffix(j, "");
+                true
+            } else {
+                false
+            }
+        } else if let Some(j) = self.stem_end("ing") {
+            if self.has_vowel(j) {
+                self.set_suffix(j, "");
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if fired {
+            if self.ends_with("at") || self.ends_with("bl") || self.ends_with("iz") {
+                let k = self.k;
+                self.set_suffix(k, "e");
+            } else if self.double_consonant(self.k)
+                && !matches!(self.b[self.k - 1], b'l' | b's' | b'z')
+            {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            } else if self.measure(self.k) == 1 && self.cvc(self.k - 1) {
+                let k = self.k;
+                self.set_suffix(k, "e");
+            }
+        }
+    }
+
+    // Step 1c: Y → I when there is a vowel in the stem.
+    fn step1c(&mut self) {
+        if let Some(j) = self.stem_end("y") {
+            if self.has_vowel(j) {
+                self.set_suffix(j, "i");
+            }
+        }
+    }
+
+    // Step 2: double suffixes, guarded by m > 0.
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suf, rep) in RULES {
+            if self.replace_if_measure(suf, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    // Step 3.
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suf, rep) in RULES {
+            if self.replace_if_measure(suf, rep, 0) {
+                return;
+            }
+        }
+    }
+
+    // Step 4: drop suffixes when m > 1.
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suf in SUFFIXES {
+            if let Some(j) = self.stem_end(suf) {
+                if *suf == "ion" && !(j > 0 && matches!(self.b[j - 1], b's' | b't')) {
+                    return; // ION only drops after S or T; rule matched, stop.
+                }
+                if self.measure(j) > 1 {
+                    self.set_suffix(j, "");
+                }
+                return;
+            }
+        }
+    }
+
+    // Step 5a: drop final E.
+    fn step5a(&mut self) {
+        if let Some(j) = self.stem_end("e") {
+            let m = self.measure(j);
+            if m > 1 || (m == 1 && !(j >= 1 && self.cvc(j - 1))) {
+                self.set_suffix(j, "");
+            }
+        }
+    }
+
+    // Step 5b: LL → L when m > 1.
+    fn step5b(&mut self) {
+        if self.k >= 2
+            && self.b[self.k - 1] == b'l'
+            && self.double_consonant(self.k)
+            && self.measure(self.k - 1) > 1
+        {
+            self.k -= 1;
+            self.b.truncate(self.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference pairs from Porter's paper and the standard test vocabulary.
+    #[test]
+    fn porter_reference_pairs() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn biomedical_terms() {
+        assert_eq!(stem("injuries"), "injuri");
+        assert_eq!(stem("diseases"), "diseas");
+        assert_eq!(stem("corneal"), "corneal");
+        assert_eq!(stem("injury"), "injuri");
+        // Singular and plural conflate.
+        assert_eq!(stem("tumors"), stem("tumor"));
+        assert_eq!(stem("infections"), stem("infection"));
+    }
+
+    #[test]
+    fn short_words_and_identifiers_untouched() {
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("p53"), "p53");
+        assert_eq!(stem("covid-19"), "covid-19");
+        assert_eq!(stem("a"), "a");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(stem("hépatite"), "hépatite");
+    }
+}

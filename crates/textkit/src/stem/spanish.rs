@@ -1,0 +1,88 @@
+//! Light Spanish stemmer.
+//!
+//! Strips plural inflection and the most productive adjective/noun endings.
+//! Like the French stemmer, deliberately light: the workflow only needs
+//! singular/plural and gender variants to conflate.
+
+/// Stem one lower-case Spanish word.
+pub fn stem(word: &str) -> String {
+    let n = word.chars().count();
+    if n <= 3 || !word.chars().all(|c| c.is_alphabetic() || c == '-') {
+        return word.to_owned();
+    }
+    let mut w = word.to_owned();
+
+    // -ciones → -ción (infecciones → infección ... we fold accents later, so
+    // map straight to "cion").
+    if let Some(stem) = w.strip_suffix("ciones") {
+        if stem.chars().count() >= 2 {
+            return format!("{stem}cion");
+        }
+    }
+    if let Some(stem) = w.strip_suffix("ción") {
+        if stem.chars().count() >= 2 {
+            return format!("{stem}cion");
+        }
+    }
+    // Plurals: -es after consonant (enfermedades → enfermedad), -s.
+    if let Some(stem) = w.strip_suffix("es") {
+        let cs: Vec<char> = stem.chars().collect();
+        if cs.len() >= 3 && !is_vowel(*cs.last().expect("nonempty")) {
+            w = stem.to_owned();
+            // crónicas/crónicos handled by -s branch; -les/-res keep the stem.
+            return w;
+        }
+    }
+    if let Some(stem) = w.strip_suffix('s') {
+        if stem.chars().count() >= 3 {
+            w = stem.to_owned();
+        }
+    }
+    // Gender endings -o/-a conflate for adjectives (crónico/crónica).
+    let cs: Vec<char> = w.chars().collect();
+    if cs.len() > 4 && matches!(cs[cs.len() - 1], 'o' | 'a') {
+        w.pop();
+    }
+    w
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u' | 'á' | 'é' | 'í' | 'ó' | 'ú')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_conflation() {
+        assert_eq!(stem("enfermedades"), "enfermedad");
+        assert_eq!(stem("tumores"), "tumor");
+    }
+
+    #[test]
+    fn gender_conflation() {
+        assert_eq!(stem("crónico"), stem("crónica"));
+        assert_eq!(stem("crónicos"), stem("crónicas"));
+    }
+
+    #[test]
+    fn cion_normalization() {
+        assert_eq!(stem("infección"), "infeccion");
+        assert_eq!(stem("infecciones"), "infeccion");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("ojo"), "ojo");
+        assert_eq!(stem("piel"), "piel");
+    }
+
+    #[test]
+    fn idempotent() {
+        for w in ["enfermedades", "crónicas", "infecciones", "tumores"] {
+            let once = stem(w);
+            assert_eq!(stem(&once), once, "{w}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Per-language stopword lists.
+//!
+//! BIOTEX filters candidate terms that begin or end with a stopword; the
+//! polysemy features and context vectors also drop stopwords. The lists
+//! below are the standard function-word inventories for each language plus
+//! a few tokens ubiquitous in scientific abstracts ("study", "results" are
+//! deliberately *not* stopped — they are content words the paper's context
+//! vectors legitimately use).
+
+use crate::lang::Language;
+use std::collections::HashSet;
+
+/// English stopwords.
+pub const ENGLISH: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and",
+    "any", "are", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down",
+    "during", "each", "few", "for", "from", "further", "had", "has", "have", "having", "he",
+    "her", "here", "hers", "herself", "him", "himself", "his", "how", "however", "i", "if",
+    "in", "into", "is", "it", "its", "itself", "may", "me", "might", "more", "most", "must",
+    "my", "myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or", "other",
+    "ought", "our", "ours", "ourselves", "out", "over", "own", "same", "she", "should", "so",
+    "some", "such", "than", "that", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "upon", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
+    "whom", "why", "will", "with", "within", "without", "would", "you", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// French stopwords.
+pub const FRENCH: &[&str] = &[
+    "a", "afin", "ai", "ainsi", "alors", "au", "aucun", "aucune", "aujourd'hui", "auquel",
+    "aussi", "autre", "autres", "aux", "avant", "avec", "avoir", "c'", "car", "ce", "ceci",
+    "cela", "celle", "celles", "celui", "cependant", "ces", "cet", "cette", "ceux", "chaque",
+    "chez", "comme", "comment", "d'", "dans", "de", "depuis", "des", "donc", "dont", "du",
+    "elle", "elles", "en", "encore", "entre", "est", "et", "etc", "eu", "fait", "faire",
+    "fois", "hors", "il", "ils", "j'", "je", "l'", "la", "le", "les", "leur", "leurs", "lors",
+    "lui", "là", "m'", "ma", "mais", "me", "mes", "mon", "même", "n'", "ne", "ni", "non",
+    "nos", "notre", "nous", "on", "ont", "ou", "où", "par", "parce", "pas", "pendant", "peu",
+    "peut", "plus", "pour", "pourquoi", "qu'", "quand", "que", "quel", "quelle", "quelles",
+    "quels", "qui", "s'", "sa", "sans", "se", "selon", "ses", "si", "sinon", "soit", "son",
+    "sont", "sous", "sur", "t'", "ta", "tandis", "te", "tes", "ton", "tous", "tout", "toute",
+    "toutes", "tu", "un", "une", "vers", "via", "vos", "votre", "vous", "y", "à", "été",
+    "être",
+];
+
+/// Spanish stopwords.
+pub const SPANISH: &[&str] = &[
+    "a", "al", "algo", "algunas", "algunos", "ante", "antes", "aquel", "aquella", "aquellas",
+    "aquellos", "aquí", "así", "aunque", "bajo", "bien", "cada", "casi", "como", "con",
+    "contra", "cual", "cuales", "cualquier", "cuando", "de", "del", "desde", "donde", "dos",
+    "durante", "e", "el", "ella", "ellas", "ellos", "en", "entre", "era", "eran", "es", "esa",
+    "esas", "ese", "eso", "esos", "esta", "estaba", "estas", "este", "esto", "estos", "están",
+    "fue", "fueron", "ha", "había", "han", "hasta", "hay", "la", "las", "le", "les", "lo",
+    "los", "luego", "mas", "me", "mi", "mientras", "muy", "más", "ni", "no", "nos", "nosotros",
+    "nuestra", "nuestras", "nuestro", "nuestros", "o", "otra", "otras", "otro", "otros",
+    "para", "pero", "poco", "por", "porque", "pues", "que", "quien", "quienes", "qué", "se",
+    "según", "ser", "si", "sido", "sin", "sobre", "son", "su", "sus", "sí", "también",
+    "tanto", "te", "tiene", "tienen", "toda", "todas", "todo", "todos", "tras", "tu", "tus",
+    "un", "una", "unas", "uno", "unos", "y", "ya", "yo", "él",
+];
+
+/// A compiled stopword set for one language.
+#[derive(Debug, Clone)]
+pub struct StopwordSet {
+    lang: Language,
+    words: HashSet<&'static str>,
+}
+
+impl StopwordSet {
+    /// Build the set for `lang`.
+    pub fn for_language(lang: Language) -> Self {
+        let list = match lang {
+            Language::English => ENGLISH,
+            Language::French => FRENCH,
+            Language::Spanish => SPANISH,
+        };
+        StopwordSet {
+            lang,
+            words: list.iter().copied().collect(),
+        }
+    }
+
+    /// The language of this set.
+    pub fn language(&self) -> Language {
+        self.lang
+    }
+
+    /// Is `word` (already lower-cased) a stopword?
+    pub fn contains(&self, word: &str) -> bool {
+        self.words.contains(word)
+    }
+
+    /// Number of stopwords in the set.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the set is empty (never true for built-in lists).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_basics() {
+        let sw = StopwordSet::for_language(Language::English);
+        assert!(sw.contains("the"));
+        assert!(sw.contains("of"));
+        assert!(!sw.contains("hepatitis"));
+        assert!(!sw.contains("study"));
+    }
+
+    #[test]
+    fn french_basics() {
+        let sw = StopwordSet::for_language(Language::French);
+        assert!(sw.contains("le"));
+        assert!(sw.contains("d'"));
+        assert!(sw.contains("à"));
+        assert!(!sw.contains("hépatite"));
+    }
+
+    #[test]
+    fn spanish_basics() {
+        let sw = StopwordSet::for_language(Language::Spanish);
+        assert!(sw.contains("el"));
+        assert!(sw.contains("según"));
+        assert!(!sw.contains("hepatitis"));
+    }
+
+    #[test]
+    fn lists_are_lowercase_and_deduplicated() {
+        for lang in Language::ALL {
+            let list: &[&str] = match lang {
+                Language::English => ENGLISH,
+                Language::French => FRENCH,
+                Language::Spanish => SPANISH,
+            };
+            let set: HashSet<_> = list.iter().collect();
+            assert_eq!(set.len(), list.len(), "duplicates in {lang} list");
+            for w in list {
+                assert_eq!(&w.to_lowercase(), w, "non-lowercase word {w:?} in {lang}");
+            }
+        }
+    }
+
+    #[test]
+    fn sets_are_nonempty() {
+        for lang in Language::ALL {
+            let sw = StopwordSet::for_language(lang);
+            assert!(sw.len() > 100, "{lang} has only {} stopwords", sw.len());
+            assert!(!sw.is_empty());
+        }
+    }
+}

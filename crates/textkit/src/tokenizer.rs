@@ -1,0 +1,312 @@
+//! Rule-based word tokenizer.
+//!
+//! Handles the surface phenomena that matter for biomedical term
+//! extraction: internal hyphens (`beta-blocker` stays one token),
+//! alphanumeric identifiers (`p53`, `COVID-19`), decimal numbers,
+//! French elision (`l'hépatite` → `l'` + `hépatite`), and punctuation.
+//!
+//! Tokens carry lower-cased text (accents preserved — accent folding is a
+//! separate, later normalization step) plus the byte span into the source.
+
+use crate::lang::Language;
+use crate::token::{Token, TokenKind};
+
+/// Configurable tokenizer. Construct once per language and reuse.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    lang: Language,
+    /// Keep single-character word tokens (default: true; the stopword
+    /// filter usually removes them later anyway).
+    pub keep_single_chars: bool,
+}
+
+impl Tokenizer {
+    /// Tokenizer for `lang` with default settings.
+    pub fn new(lang: Language) -> Self {
+        Tokenizer {
+            lang,
+            keep_single_chars: true,
+        }
+    }
+
+    /// The language this tokenizer was built for.
+    pub fn language(&self) -> Language {
+        self.lang
+    }
+
+    /// Tokenize `text` into a fresh vector.
+    pub fn tokenize(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        self.tokenize_into(text, &mut out);
+        out
+    }
+
+    /// Tokenize `text`, appending into `out` (workhorse-buffer pattern).
+    pub fn tokenize_into(&self, text: &str, out: &mut Vec<Token>) {
+        let chars: Vec<(usize, char)> = text.char_indices().collect();
+        let n = chars.len();
+        let mut i = 0;
+        while i < n {
+            let (start, c) = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() {
+                i = self.lex_wordlike(text, &chars, i, out);
+                continue;
+            }
+            if c.is_ascii_digit() {
+                i = lex_number(text, &chars, i, out);
+                continue;
+            }
+            // Single-char punctuation or other symbol.
+            let end = byte_end(&chars, i, text);
+            let kind = if is_punct(c) {
+                TokenKind::Punctuation
+            } else {
+                TokenKind::Other
+            };
+            out.push(Token::new(
+                text[start..end].to_lowercase(),
+                start..end,
+                kind,
+            ));
+            i += 1;
+        }
+        if !self.keep_single_chars {
+            out.retain(|t| t.kind != TokenKind::Word || t.text.chars().count() > 1);
+        }
+    }
+
+    /// Lex a token starting with an alphabetic char: word, elided clitic,
+    /// or alphanumeric identifier. Returns the next char index.
+    fn lex_wordlike(
+        &self,
+        text: &str,
+        chars: &[(usize, char)],
+        start_idx: usize,
+        out: &mut Vec<Token>,
+    ) -> usize {
+        let n = chars.len();
+        let start = chars[start_idx].0;
+        let mut i = start_idx;
+        let mut saw_digit = false;
+        while i < n {
+            let (_, c) = chars[i];
+            if c.is_alphabetic() {
+                i += 1;
+            } else if c.is_ascii_digit() {
+                saw_digit = true;
+                i += 1;
+            } else if (c == '-' || c == '\u{2019}' || c == '\'') && i + 1 < n {
+                let (_, next) = chars[i + 1];
+                // French/Spanish elision: split "l'hépatite" after the
+                // apostrophe so the article becomes its own token.
+                if (c == '\'' || c == '\u{2019}')
+                    && matches!(self.lang, Language::French | Language::Spanish)
+                {
+                    let prefix_len = i - start_idx;
+                    if prefix_len <= 2 && next.is_alphabetic() {
+                        // Emit the clitic (e.g. "l'") and restart after it.
+                        let end = chars[i + 1].0;
+                        out.push(Token::new(
+                            text[start..end].to_lowercase(),
+                            start..end,
+                            TokenKind::Word,
+                        ));
+                        return i + 1;
+                    }
+                }
+                if next.is_alphanumeric() {
+                    if next.is_ascii_digit() {
+                        saw_digit = true;
+                    }
+                    i += 2;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let end = byte_end(chars, i - 1, text);
+        let kind = if saw_digit {
+            TokenKind::Alphanumeric
+        } else {
+            TokenKind::Word
+        };
+        out.push(Token::new(
+            text[start..end].to_lowercase(),
+            start..end,
+            kind,
+        ));
+        i
+    }
+}
+
+/// Lex a number starting at `start_idx` (digits, optional single decimal
+/// point or comma between digits, optional trailing alphanumeric making it
+/// an identifier like `19a`). Returns the next char index.
+fn lex_number(
+    text: &str,
+    chars: &[(usize, char)],
+    start_idx: usize,
+    out: &mut Vec<Token>,
+) -> usize {
+    let n = chars.len();
+    let start = chars[start_idx].0;
+    let mut i = start_idx;
+    let mut saw_alpha = false;
+    while i < n {
+        let (_, c) = chars[i];
+        if c.is_ascii_digit() {
+            i += 1;
+        } else if (c == '.' || c == ',') && i + 1 < n && chars[i + 1].1.is_ascii_digit() {
+            i += 2;
+        } else if c.is_alphabetic() {
+            saw_alpha = true;
+            i += 1;
+        } else if c == '-' && i + 1 < n && chars[i + 1].1.is_alphanumeric() {
+            saw_alpha = true;
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    let end = byte_end(chars, i - 1, text);
+    let kind = if saw_alpha {
+        TokenKind::Alphanumeric
+    } else {
+        TokenKind::Number
+    };
+    out.push(Token::new(
+        text[start..end].to_lowercase(),
+        start..end,
+        kind,
+    ));
+    i
+}
+
+/// Byte offset one past the char at `idx`.
+fn byte_end(chars: &[(usize, char)], idx: usize, text: &str) -> usize {
+    let (off, c) = chars[idx];
+    debug_assert!(off + c.len_utf8() <= text.len());
+    off + c.len_utf8()
+}
+
+fn is_punct(c: char) -> bool {
+    matches!(
+        c,
+        '.' | ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '\''
+            | '«' | '»' | '¿' | '¡' | '-' | '–' | '—' | '/' | '\\' | '%' | '&' | '*' | '+'
+            | '=' | '<' | '>' | '|' | '~' | '^' | '_' | '@' | '#' | '$'
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(lang: Language, s: &str) -> Vec<String> {
+        Tokenizer::new(lang)
+            .tokenize(s)
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_english_sentence() {
+        let toks = texts(Language::English, "Corneal injuries are severe.");
+        assert_eq!(toks, vec!["corneal", "injuries", "are", "severe", "."]);
+    }
+
+    #[test]
+    fn hyphenated_word_stays_together() {
+        let toks = texts(Language::English, "beta-blocker therapy");
+        assert_eq!(toks, vec!["beta-blocker", "therapy"]);
+    }
+
+    #[test]
+    fn alphanumeric_identifiers() {
+        let toks = texts(Language::English, "p53 and COVID-19 variants");
+        assert_eq!(toks[0], "p53");
+        assert_eq!(toks[2], "covid-19");
+        let kinds: Vec<_> = Tokenizer::new(Language::English)
+            .tokenize("p53 and COVID-19")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokenKind::Alphanumeric);
+        assert_eq!(kinds[2], TokenKind::Alphanumeric);
+    }
+
+    #[test]
+    fn decimal_numbers() {
+        let toks = Tokenizer::new(Language::English).tokenize("dose of 3.5 mg");
+        assert_eq!(toks[2].text, "3.5");
+        assert_eq!(toks[2].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn french_elision_splits_clitic() {
+        let toks = texts(Language::French, "l'hépatite d'origine virale");
+        assert_eq!(toks, vec!["l'", "hépatite", "d'", "origine", "virale"]);
+    }
+
+    #[test]
+    fn english_apostrophe_is_not_split() {
+        let toks = texts(Language::English, "Crohn's disease");
+        assert_eq!(toks, vec!["crohn's", "disease"]);
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "Acute  hepatitis";
+        let toks = Tokenizer::new(Language::English).tokenize(src);
+        for t in &toks {
+            assert_eq!(src[t.span.clone()].to_lowercase(), t.text);
+        }
+    }
+
+    #[test]
+    fn punctuation_tokens() {
+        let toks = Tokenizer::new(Language::English).tokenize("(acute) injury;");
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokenKind::Punctuation,
+                TokenKind::Word,
+                TokenKind::Punctuation,
+                TokenKind::Word,
+                TokenKind::Punctuation
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_input() {
+        assert!(texts(Language::English, "").is_empty());
+        assert!(texts(Language::English, "   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn trailing_hyphen_is_punctuation() {
+        let toks = texts(Language::English, "pre- and postoperative");
+        assert_eq!(toks, vec!["pre", "-", "and", "postoperative"]);
+    }
+
+    #[test]
+    fn single_char_filter() {
+        let mut tk = Tokenizer::new(Language::English);
+        tk.keep_single_chars = false;
+        let toks: Vec<String> = tk
+            .tokenize("a big dog")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(toks, vec!["big", "dog"]);
+    }
+}

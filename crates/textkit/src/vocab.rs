@@ -1,0 +1,142 @@
+//! String interning.
+//!
+//! Everything downstream of tokenization (indexes, co-occurrence graphs,
+//! sparse vectors, clustering) operates on dense `u32` ids; the vocabulary
+//! owns the id ↔ string mapping.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned token id. Dense, starting at 0, stable for the lifetime of the
+/// owning [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    by_text: HashMap<String, TokenId>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `text`, returning its stable id.
+    pub fn intern(&mut self, text: &str) -> TokenId {
+        if let Some(&id) = self.by_text.get(text) {
+            return id;
+        }
+        let id = TokenId(u32::try_from(self.by_id.len()).expect("vocabulary exceeds u32 ids"));
+        self.by_id.push(text.to_owned());
+        self.by_text.insert(text.to_owned(), id);
+        id
+    }
+
+    /// Look up an existing id without interning.
+    pub fn get(&self, text: &str) -> Option<TokenId> {
+        self.by_text.get(text).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this vocabulary.
+    pub fn text(&self, id: TokenId) -> &str {
+        &self.by_id[id.index()]
+    }
+
+    /// The string for `id`, or `None` if out of range.
+    pub fn try_text(&self, id: TokenId) -> Option<&str> {
+        self.by_id.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(id, text)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TokenId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (TokenId(i as u32), s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("cornea");
+        let b = v.intern("cornea");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("alpha");
+        let b = v.intern("beta");
+        let c = v.intern("gamma");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+        assert_eq!(v.text(b), "beta");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut v = Vocabulary::new();
+        assert!(v.get("x").is_none());
+        v.intern("x");
+        assert!(v.get("x").is_some());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut v = Vocabulary::new();
+        for w in ["c", "a", "b"] {
+            v.intern(w);
+        }
+        let items: Vec<(u32, &str)> = v.iter().map(|(id, s)| (id.0, s)).collect();
+        assert_eq!(items, vec![(0, "c"), (1, "a"), (2, "b")]);
+    }
+
+    #[test]
+    fn try_text_out_of_range() {
+        let v = Vocabulary::new();
+        assert!(v.try_text(TokenId(0)).is_none());
+    }
+
+    #[test]
+    fn display_token_id() {
+        assert_eq!(TokenId(7).to_string(), "#7");
+        assert_eq!(TokenId(7).index(), 7);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the NLP substrate.
+
+use boe_textkit::pattern::PatternSet;
+use boe_textkit::pos::{PosTag, PosTagger};
+use boe_textkit::sentence::split_sentences;
+use boe_textkit::stem;
+use boe_textkit::{Language, Tokenizer, Vocabulary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokenization_is_deterministic_and_span_consistent(
+        s in "[a-zA-Zàéèêëíñóúüç0-9 .,;:()'-]{0,120}"
+    ) {
+        for lang in Language::ALL {
+            let tk = Tokenizer::new(lang);
+            let a = tk.tokenize(&s);
+            let b = tk.tokenize(&s);
+            prop_assert_eq!(&a, &b, "{}", lang);
+            // Spans are in order and non-overlapping.
+            for w in a.windows(2) {
+                prop_assert!(w[0].span.end <= w[1].span.start);
+            }
+            for t in &a {
+                prop_assert!(!t.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sentences_cover_only_source_material(s in "[a-zA-Z .!?0-9]{0,150}") {
+        let sentences = split_sentences(&s);
+        for sent in &sentences {
+            prop_assert!(s.contains(sent), "{sent:?} not in source");
+            prop_assert!(!sent.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn tagger_output_is_total_and_aligned(s in "[a-zA-Z .,;-]{0,100}") {
+        for lang in Language::ALL {
+            let toks = Tokenizer::new(lang).tokenize(&s);
+            let tags = PosTagger::new(lang).tag(&toks);
+            prop_assert_eq!(tags.len(), toks.len());
+        }
+    }
+
+    #[test]
+    fn pattern_matches_stay_in_bounds(tags in proptest::collection::vec(0u8..11, 0..20)) {
+        let tags: Vec<PosTag> = tags.into_iter().map(|i| PosTag::ALL[i as usize]).collect();
+        for lang in Language::ALL {
+            let set = PatternSet::for_language(lang);
+            for m in set.matches(&tags) {
+                prop_assert!(m.start + m.len <= tags.len());
+                prop_assert!(m.pattern < set.patterns().len());
+                prop_assert_eq!(&tags[m.start..m.start + m.len], &set.patterns()[m.pattern].tags[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn stemmers_produce_nonempty_stems(w in "[a-zàéñç]{1,18}") {
+        for lang in Language::ALL {
+            let s = stem::stem(lang, &w);
+            prop_assert!(!s.is_empty(), "{lang}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_intern_get_agree(words in proptest::collection::vec("[a-z]{1,10}", 0..40)) {
+        let mut v = Vocabulary::new();
+        let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
+        for (w, id) in words.iter().zip(&ids) {
+            prop_assert_eq!(v.get(w), Some(*id));
+            prop_assert_eq!(v.text(*id), w.as_str());
+        }
+        // Distinct strings ⇔ distinct ids.
+        let mut uniq: Vec<&String> = words.iter().collect();
+        uniq.sort();
+        uniq.dedup();
+        prop_assert_eq!(v.len(), uniq.len());
+    }
+}

@@ -1,0 +1,62 @@
+//! Biomedical term extraction in English, French and Spanish — the
+//! lexical/syntactic half of the workflow (BIOTEX measures over the
+//! language-specific linguistic patterns).
+//!
+//! ```text
+//! cargo run --example multilingual_extraction
+//! ```
+
+use bio_onto_enrich::corpus::corpus::CorpusBuilder;
+use bio_onto_enrich::textkit::Language;
+use bio_onto_enrich::workflow::termex::candidates::CandidateOptions;
+use bio_onto_enrich::workflow::termex::{TermExtractor, TermMeasure};
+
+fn main() {
+    let samples = [
+        (
+            Language::English,
+            vec![
+                "Acute corneal injuries damage the epithelium. Corneal injuries require \
+                 amniotic membrane grafts. The amniotic membrane supports healing.",
+                "Chronic corneal injuries scar the epithelium. Amniotic membrane grafts \
+                 restore vision after corneal injuries.",
+            ],
+        ),
+        (
+            Language::French,
+            vec![
+                "L'hépatite chronique touche le foie. L'hépatite chronique provoque une \
+                 cirrhose du foie. La cirrhose du foie reste grave.",
+                "Une hépatite chronique entraîne la cirrhose du foie. Le traitement de \
+                 l'hépatite chronique progresse.",
+            ],
+        ),
+        (
+            Language::Spanish,
+            vec![
+                "La infección crónica afecta el hígado. La infección crónica produce \
+                 cirrosis del hígado. La cirrosis del hígado es grave.",
+                "Una infección crónica causa la cirrosis del hígado. El tratamiento de la \
+                 infección crónica mejora.",
+            ],
+        ),
+    ];
+
+    for (lang, texts) in samples {
+        println!("=== {} ===", lang.name());
+        let mut b = CorpusBuilder::new(lang);
+        for t in &texts {
+            b.add_text(t);
+        }
+        let corpus = b.build();
+        let extractor = TermExtractor::new(&corpus, CandidateOptions::default());
+        for measure in [TermMeasure::CValue, TermMeasure::LidfValue] {
+            let top = extractor.top(&corpus, measure, 5);
+            println!("  top-5 by {}:", measure.name());
+            for t in top {
+                println!("    {:<28} {:.3}", t.surface, t.score);
+            }
+        }
+        println!();
+    }
+}

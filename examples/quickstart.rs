@@ -1,0 +1,57 @@
+//! Quickstart: run the full four-step enrichment workflow on a small
+//! hand-written corpus against a toy MeSH-like ontology.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use bio_onto_enrich::corpus::corpus::CorpusBuilder;
+use bio_onto_enrich::ontology::OntologyBuilder;
+use bio_onto_enrich::textkit::Language;
+use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+
+fn main() {
+    // A toy ontology: eye diseases ⊃ corneal diseases; "keratitis" is
+    // polysemic (cornea inflammation vs skin condition).
+    let mut ob = OntologyBuilder::new("toy-mesh", Language::English);
+    let eye = ob.add_concept("eye diseases", vec![]);
+    let cd = ob.add_concept("corneal diseases", vec!["keratitis".to_owned()]);
+    let _skin = ob.add_concept("skin inflammation", vec!["keratitis".to_owned()]);
+    ob.add_is_a(cd, eye);
+    let ontology = ob.build().expect("valid ontology");
+
+    // A miniature "PubMed" corpus mentioning a term the ontology lacks.
+    let mut cb = CorpusBuilder::new(Language::English);
+    for _ in 0..3 {
+        cb.add_text(
+            "Corneal injuries resemble corneal diseases of the epithelium stroma tissue. \
+             Corneal injuries heal in the epithelium stroma tissue.",
+        );
+        cb.add_text("Keratitis damages the epithelium stroma tissue.");
+        cb.add_text("Keratitis irritates the dermis follicle layer.");
+        cb.add_text("Eye diseases involve the retina nerve.");
+    }
+    let corpus = cb.build();
+
+    // Steps I–IV.
+    let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+    let report = pipeline.run(&corpus, &ontology);
+
+    println!("{report}");
+    if let Some(term) = report.get("corneal injuries") {
+        println!("--- focus: {:?} ---", term.surface);
+        println!("step I  score     : {:.3}", term.term_score);
+        println!("step II polysemic : {}", term.polysemic);
+        println!("step III senses   : k = {}", term.senses.k);
+        println!("step IV positions :");
+        for (i, p) in term.propositions.iter().enumerate() {
+            println!(
+                "  {}. {:<24} cosine {:.4}  via {}",
+                i + 1,
+                p.term,
+                p.cosine,
+                p.origin.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's future-work extension: typing the relation between a
+//! candidate term and its proposed positions from the verbs that link
+//! them in text.
+//!
+//! ```text
+//! cargo run --example relation_extraction
+//! ```
+
+use bio_onto_enrich::corpus::corpus::CorpusBuilder;
+use bio_onto_enrich::textkit::Language;
+use bio_onto_enrich::workflow::relation::extract_relation;
+
+fn main() {
+    let mut b = CorpusBuilder::new(Language::English);
+    b.add_text("Chemical burns cause corneal injuries. Chemical burns caused corneal injuries in most patients.");
+    b.add_text("Amniotic membrane grafts treat corneal injuries. The amniotic membrane heals corneal injuries.");
+    b.add_text("Ulcerative keratitis is corneal ulcer.");
+    b.add_text("Corneal injuries involve the epithelium.");
+    let corpus = b.build();
+
+    let pairs = [
+        ("chemical burns", "corneal injuries"),
+        ("amniotic membrane", "corneal injuries"),
+        ("ulcerative keratitis", "corneal ulcer"),
+        ("corneal injuries", "epithelium"),
+    ];
+    for (a, b_term) in pairs {
+        let ta = corpus.phrase_ids(a).expect("known");
+        let tb = corpus.phrase_ids(b_term).expect("known");
+        match extract_relation(&corpus, &ta, &tb) {
+            Some(ev) => {
+                let verbs: Vec<String> = ev
+                    .verbs
+                    .iter()
+                    .map(|(v, c)| format!("{v}×{c}"))
+                    .collect();
+                println!(
+                    "{a:<22} —[{}]→ {b_term:<18} (from {} shared sentences; verbs: {})",
+                    ev.relation.name(),
+                    ev.sentences,
+                    verbs.join(", ")
+                );
+            }
+            None => println!("{a:<22} and {b_term} never share a sentence"),
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! `boe` — command-line front-end to the enrichment workflow.
+//!
+//! ```text
+//! boe extract  <corpus.txt> [--lang en|fr|es] [--measure NAME] [--top N]
+//! boe senses   <corpus.txt> <term> [--lang ..]
+//! boe link     <corpus.txt> <ontology.boe> <term> [--top N]
+//! boe pipeline <corpus.txt> <ontology.boe> [--top N]
+//! boe demo
+//! ```
+//!
+//! Corpus files are plain text; blank lines separate documents. Ontology
+//! files use the `boe-ontology` text format (`! name lang` header, then
+//! `C`/`S`/`L` records — see `boe_ontology::io`).
+
+use bio_onto_enrich::corpus::corpus::{Corpus, CorpusBuilder};
+use bio_onto_enrich::ontology::{io as onto_io, Ontology};
+use bio_onto_enrich::textkit::Language;
+use bio_onto_enrich::workflow::linkage::{LinkerConfig, SemanticLinker};
+use bio_onto_enrich::workflow::senses::{SenseInducer, SenseInducerConfig};
+use bio_onto_enrich::workflow::termex::candidates::CandidateOptions;
+use bio_onto_enrich::workflow::termex::{TermExtractor, TermMeasure};
+use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("boe: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  boe extract  <corpus.txt> [--lang en|fr|es] [--measure NAME] [--top N]
+  boe senses   <corpus.txt> <term> [--lang en|fr|es]
+  boe link     <corpus.txt> <ontology.boe> <term> [--top N]
+  boe pipeline <corpus.txt> <ontology.boe> [--top N]
+  boe demo
+
+measures: c-value tf-idf okapi f-tfidf-c f-ocapi lidf-value tergraph";
+
+/// Minimal flag parser: returns (positional, flag lookup).
+struct Flags {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                flags.push((name.to_owned(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn lang(&self) -> Result<Language, String> {
+        self.get("lang")
+            .unwrap_or("en")
+            .parse()
+            .map_err(|e| format!("{e}"))
+    }
+
+    fn top(&self, default: usize) -> Result<usize, String> {
+        match self.get("top") {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --top value {v:?}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing subcommand".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "extract" => cmd_extract(&flags),
+        "senses" => cmd_senses(&flags),
+        "link" => cmd_link(&flags),
+        "pipeline" => cmd_pipeline(&flags),
+        "demo" => cmd_demo(),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn load_corpus(path: &str, lang: Language) -> Result<Corpus, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut builder = CorpusBuilder::new(lang);
+    for doc in text.split("\n\n").filter(|d| !d.trim().is_empty()) {
+        builder.add_text(doc);
+    }
+    if builder.is_empty() {
+        return Err(format!("{path:?} contains no documents"));
+    }
+    Ok(builder.build())
+}
+
+fn load_ontology(path: &str) -> Result<Ontology, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    onto_io::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
+}
+
+fn parse_measure(name: &str) -> Result<TermMeasure, String> {
+    TermMeasure::ALL
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| format!("unknown measure {name:?}"))
+}
+
+fn cmd_extract(flags: &Flags) -> Result<(), String> {
+    let [path] = flags.positional.as_slice() else {
+        return Err("extract needs exactly one corpus file".into());
+    };
+    let lang = flags.lang()?;
+    let measure = parse_measure(flags.get("measure").unwrap_or("lidf-value"))?;
+    let top = flags.top(20)?;
+    let corpus = load_corpus(path, lang)?;
+    let extractor = TermExtractor::new(&corpus, CandidateOptions::default());
+    println!(
+        "{} candidates from {} documents; top {top} by {measure}:",
+        extractor.candidates().len(),
+        corpus.len()
+    );
+    for (i, t) in extractor.top(&corpus, measure, top).iter().enumerate() {
+        println!("{:>3}. {:<32} {:.4}", i + 1, t.surface, t.score);
+    }
+    Ok(())
+}
+
+fn cmd_senses(flags: &Flags) -> Result<(), String> {
+    let [path, term] = flags.positional.as_slice() else {
+        return Err("senses needs a corpus file and a term".into());
+    };
+    let corpus = load_corpus(path, flags.lang()?)?;
+    let ids = corpus
+        .phrase_ids(term)
+        .ok_or_else(|| format!("term {term:?} does not occur in the corpus"))?;
+    let inducer = SenseInducer::new(&corpus, SenseInducerConfig::default());
+    let senses = inducer.induce(&ids, true);
+    println!("term {term:?}: {} sense(s)", senses.k);
+    for concept in &senses.concepts {
+        let labels: Vec<&str> = concept
+            .features
+            .iter()
+            .filter_map(|&(d, _)| inducer.feature_label(d))
+            .take(8)
+            .collect();
+        println!(
+            "  sense {} ({} contexts): {}",
+            concept.cluster,
+            concept.support,
+            labels.join(", ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_link(flags: &Flags) -> Result<(), String> {
+    let [corpus_path, onto_path, term] = flags.positional.as_slice() else {
+        return Err("link needs a corpus file, an ontology file and a term".into());
+    };
+    let ontology = load_ontology(onto_path)?;
+    let corpus = load_corpus(corpus_path, ontology.language())?;
+    let top = flags.top(10)?;
+    let linker = SemanticLinker::new(
+        &corpus,
+        &ontology,
+        LinkerConfig {
+            top_n: top,
+            ..Default::default()
+        },
+    );
+    let props = linker.propose(term);
+    if props.is_empty() {
+        println!("no propositions — {term:?} has no ontology neighbourhood in this corpus");
+        return Ok(());
+    }
+    println!("where to add {term:?}:");
+    for (i, p) in props.iter().enumerate() {
+        println!(
+            "{:>3}. {:<32} cosine {:.4}  via {}",
+            i + 1,
+            p.term,
+            p.cosine,
+            p.origin.name()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
+    let [corpus_path, onto_path] = flags.positional.as_slice() else {
+        return Err("pipeline needs a corpus file and an ontology file".into());
+    };
+    let ontology = load_ontology(onto_path)?;
+    let corpus = load_corpus(corpus_path, ontology.language())?;
+    let pipeline = EnrichmentPipeline::new(PipelineConfig {
+        top_terms: flags.top(50)?,
+        ..Default::default()
+    });
+    let report = pipeline.run(&corpus, &ontology);
+    print!("{report}");
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    use bio_onto_enrich::eval::exp_linkage_case;
+    use bio_onto_enrich::eval::world::{World, WorldConfig};
+    let world = World::generate(&WorldConfig {
+        n_concepts: 100,
+        n_holdout: 8,
+        abstracts_per_concept: 5,
+        ..Default::default()
+    });
+    println!(
+        "generated a {}-concept MeSH-like ontology and a {}-abstract corpus;",
+        world.full_ontology.len(),
+        world.corpus.len()
+    );
+    println!("re-placing held-out term {:?}:\n", world.holdout[0].surface);
+    let case = exp_linkage_case::run(&world, 0, 150);
+    println!("{}", exp_linkage_case::render(&case));
+    Ok(())
+}

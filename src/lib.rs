@@ -1,0 +1,25 @@
+//! # bio-onto-enrich
+//!
+//! Facade crate for the EDBT-2016 "A Way to Automatically Enrich Biomedical
+//! Ontologies" reproduction. Re-exports the public API of every workspace
+//! crate under stable module names:
+//!
+//! ```
+//! use bio_onto_enrich::textkit::Language;
+//! let tk = bio_onto_enrich::textkit::Tokenizer::new(Language::English);
+//! assert_eq!(tk.tokenize("corneal injuries").len(), 2);
+//! ```
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! per-experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use boe_cluster as cluster;
+pub use boe_core as workflow;
+pub use boe_corpus as corpus;
+pub use boe_eval as eval;
+pub use boe_graph as graph;
+pub use boe_ml as ml;
+pub use boe_ontology as ontology;
+pub use boe_textkit as textkit;

@@ -1,0 +1,99 @@
+//! Integration: drive the `boe` CLI binary end to end through its real
+//! argv interface (compiled binary via `CARGO_BIN_EXE_boe`).
+
+use std::io::Write;
+use std::process::Command;
+
+fn boe(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_boe"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("boe-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const CORPUS: &str = "Corneal injuries damage the epithelium stroma tissue. \
+Corneal injuries resemble corneal diseases of the epithelium.\n\
+\n\
+Corneal diseases affect the epithelium stroma tissue. \
+Corneal injuries heal in the epithelium stroma tissue.\n\
+\n\
+Eye diseases involve the retina nerve. Corneal diseases worsen.\n";
+
+const ONTOLOGY: &str = "! demo en\nC 0 eye diseases\nC 1 corneal diseases\nL 1 0\n";
+
+#[test]
+fn extract_lists_ranked_terms() {
+    let corpus = write_temp("c1.txt", CORPUS);
+    let out = boe(&["extract", corpus.to_str().expect("utf8"), "--top", "5"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corneal injuries"), "{stdout}");
+    assert!(stdout.contains("top 5 by lidf-value"), "{stdout}");
+}
+
+#[test]
+fn link_proposes_ontology_positions() {
+    let corpus = write_temp("c2.txt", CORPUS);
+    let onto = write_temp("o2.boe", ONTOLOGY);
+    let out = boe(&[
+        "link",
+        corpus.to_str().expect("utf8"),
+        onto.to_str().expect("utf8"),
+        "corneal injuries",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("corneal diseases"), "{stdout}");
+    assert!(stdout.contains("cosine"), "{stdout}");
+}
+
+#[test]
+fn pipeline_prints_a_report() {
+    let corpus = write_temp("c3.txt", CORPUS);
+    let onto = write_temp("o3.boe", ONTOLOGY);
+    let out = boe(&[
+        "pipeline",
+        corpus.to_str().expect("utf8"),
+        onto.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("enrichment report"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    let out = boe(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = boe(&[]);
+    assert!(!out.status.success());
+
+    let out = boe(&["extract", "/nonexistent/file.txt"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_measure_is_rejected() {
+    let corpus = write_temp("c4.txt", CORPUS);
+    let out = boe(&[
+        "extract",
+        corpus.to_str().expect("utf8"),
+        "--measure",
+        "made-up",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown measure"));
+}

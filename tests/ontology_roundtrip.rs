@@ -1,0 +1,97 @@
+//! Integration: synthetic ontology generation → text serialization →
+//! reload → enrichment edits, across `boe-ontology` and `boe-textkit`.
+
+use bio_onto_enrich::ontology::edit::{apply, EnrichmentOp};
+use bio_onto_enrich::ontology::io;
+use bio_onto_enrich::ontology::polysemy::PolysemyStats;
+use bio_onto_enrich::ontology::synth::mesh::{MeshConfig, MeshGenerator};
+use bio_onto_enrich::ontology::{query, ConceptId};
+use bio_onto_enrich::textkit::Language;
+
+#[test]
+fn generated_mesh_round_trips_through_text_format() {
+    for lang in Language::ALL {
+        let (onto, _) = MeshGenerator::new(
+            lang,
+            MeshConfig {
+                n_concepts: 120,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .generate();
+        let text = io::to_string(&onto);
+        let reloaded = io::from_str(&text).expect("parse back");
+        assert_eq!(reloaded.len(), onto.len(), "{lang}");
+        assert_eq!(reloaded.language(), lang);
+        for (a, b) in onto.concepts().iter().zip(reloaded.concepts()) {
+            assert_eq!(a.preferred, b.preferred);
+            assert_eq!(a.synonyms, b.synonyms);
+            assert_eq!(a.parents, b.parents);
+        }
+        // Statistics identical after the round trip.
+        assert_eq!(
+            PolysemyStats::compute(&onto),
+            PolysemyStats::compute(&reloaded)
+        );
+    }
+}
+
+#[test]
+fn edits_survive_serialization() {
+    let (onto, _) = MeshGenerator::new(
+        Language::English,
+        MeshConfig {
+            n_concepts: 40,
+            seed: 8,
+            ..Default::default()
+        },
+    )
+    .generate();
+    let leaf = *onto.leaves().first().expect("leaves exist");
+    let (enriched, log) = apply(
+        &onto,
+        &[
+            EnrichmentOp::AddSynonym {
+                concept: leaf,
+                term: "brand new synonym".into(),
+            },
+            EnrichmentOp::AddChild {
+                parent: leaf,
+                preferred: "brand new child".into(),
+                synonyms: vec!["brand new child variant".into()],
+            },
+        ],
+    )
+    .expect("edits apply");
+    assert_eq!(log.len(), 2);
+    let text = io::to_string(&enriched);
+    let reloaded = io::from_str(&text).expect("parse back");
+    assert!(reloaded.contains_term("brand new synonym"));
+    assert!(reloaded.contains_term("brand new child variant"));
+    let child = reloaded.concepts_of_term("brand new child")[0];
+    assert_eq!(query::fathers(&reloaded, child), &[leaf]);
+}
+
+#[test]
+fn hierarchy_queries_are_consistent_after_reload() {
+    let (onto, _) = MeshGenerator::new(
+        Language::English,
+        MeshConfig {
+            n_concepts: 100,
+            seed: 13,
+            ..Default::default()
+        },
+    )
+    .generate();
+    let reloaded = io::from_str(&io::to_string(&onto)).expect("parse");
+    for i in 0..onto.len() {
+        let c = ConceptId(i as u32);
+        assert_eq!(
+            query::ancestors(&onto, c),
+            query::ancestors(&reloaded, c),
+            "ancestors of {c}"
+        );
+        assert_eq!(query::siblings(&onto, c), query::siblings(&reloaded, c));
+    }
+}
