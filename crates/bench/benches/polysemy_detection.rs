@@ -2,9 +2,10 @@
 //! (paper: 98%) with the feature-subset ablation, then times the
 //! 23-feature extraction kernel.
 
+use boe_bench::harness::Criterion;
+use boe_bench::{criterion_group, criterion_main};
 use boe_core::polysemy::detector::FeatureContext;
 use boe_eval::exp_polysemy::{self, FeatureSubset, PolysemyExpConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let cfg = PolysemyExpConfig::default();
@@ -14,8 +15,14 @@ fn bench(c: &mut Criterion) {
         models: vec![boe_core::polysemy::detector::PolysemyModel::Forest],
         ..cfg.clone()
     };
-    results.extend(exp_polysemy::run_subset(&ablation_cfg, FeatureSubset::DirectOnly));
-    results.extend(exp_polysemy::run_subset(&ablation_cfg, FeatureSubset::GraphOnly));
+    results.extend(exp_polysemy::run_subset(
+        &ablation_cfg,
+        FeatureSubset::DirectOnly,
+    ));
+    results.extend(exp_polysemy::run_subset(
+        &ablation_cfg,
+        FeatureSubset::GraphOnly,
+    ));
     println!("\n{}", exp_polysemy::render(&results));
 
     let (corpus, terms) = exp_polysemy::generate_term_set(&cfg);

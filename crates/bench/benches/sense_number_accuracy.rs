@@ -4,13 +4,14 @@
 //! baselines) and A2 (bag-of-words vs graph representation), then times
 //! the per-entity prediction kernel.
 
+use boe_bench::harness::Criterion;
+use boe_bench::{criterion_group, criterion_main};
 use boe_cluster::{Algorithm, InternalIndex};
+use boe_core::senses::{build_representation, Representation};
 use boe_corpus::context::{ContextScope, StemMap};
 use boe_corpus::synth::mshwsd::MshWsdDataset;
-use boe_core::senses::{build_representation, Representation};
 use boe_eval::exp_sense_number;
 use boe_textkit::Language;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let cfg = boe_bench::bench_sense_number_config();

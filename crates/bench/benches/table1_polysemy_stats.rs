@@ -1,7 +1,8 @@
 //! Bench E1 — regenerates **Table 1** and times the polysemy-statistics
 //! kernel over a UMLS-scale terminology.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use boe_bench::harness::{BatchSize, Criterion};
+use boe_bench::{criterion_group, criterion_main};
 use boe_eval::exp_table1;
 use boe_ontology::polysemy::PolysemyStats;
 use boe_ontology::synth::umls::{PolysemyProfile, UmlsGenerator};
@@ -12,14 +13,13 @@ fn bench(c: &mut Criterion) {
     let (umls, mesh) = exp_table1::run(10);
     println!("\n{}", exp_table1::render(&umls, &mesh));
 
-    let onto = UmlsGenerator::new(Language::English, PolysemyProfile::umls(Language::English, 100))
-        .generate();
+    let onto = UmlsGenerator::new(
+        Language::English,
+        PolysemyProfile::umls(Language::English, 100),
+    )
+    .generate();
     c.bench_function("table1/polysemy_stats_en_umls_1pct", |b| {
-        b.iter_batched(
-            || &onto,
-            PolysemyStats::compute,
-            BatchSize::SmallInput,
-        )
+        b.iter_batched(|| &onto, PolysemyStats::compute, BatchSize::SmallInput)
     });
     c.bench_function("table1/generate_en_umls_1pct", |b| {
         b.iter(|| {

@@ -3,11 +3,11 @@
 //! for a controlled 3-blob fixture so the definitions are visible in the
 //! bench log.
 
+use boe_bench::harness::Criterion;
+use boe_bench::{criterion_group, criterion_main};
 use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
 use boe_corpus::SparseVector;
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boe_rng::StdRng;
 
 /// `k` noisy topical blobs of `per` sparse vectors each.
 fn blobs(per: usize, k: usize, dims_per_blob: u32, seed: u64) -> Vec<SparseVector> {
@@ -35,7 +35,11 @@ fn bench(c: &mut Criterion) {
             "  {:<18} = {:>10.4}  ({})",
             index.name(),
             index.score(&sol, &vs),
-            if index.maximize() { "maximize" } else { "minimize" }
+            if index.maximize() {
+                "maximize"
+            } else {
+                "minimize"
+            }
         );
     }
 

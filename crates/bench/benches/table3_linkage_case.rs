@@ -1,12 +1,13 @@
 //! Bench E5 — **Table 3**: regenerates the case-study proposition table
 //! for one held-out term and times one `propose()` call.
 
+use boe_bench::harness::Criterion;
+use boe_bench::{criterion_group, criterion_main};
 use boe_core::linkage::{LinkerConfig, SemanticLinker};
 use boe_core::termex::candidates::CandidateOptions;
 use boe_core::termex::{TermExtractor, TermMeasure};
 use boe_eval::exp_linkage_case;
 use boe_eval::world::World;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let world = World::generate(&boe_bench::bench_world_config());

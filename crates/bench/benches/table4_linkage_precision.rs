@@ -3,9 +3,10 @@
 //! expansion off; candidate-pool sweep), then times the full 60-term
 //! evaluation.
 
+use boe_bench::harness::Criterion;
+use boe_bench::{criterion_group, criterion_main};
 use boe_eval::exp_linkage_precision;
 use boe_eval::world::World;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let world = World::generate(&boe_bench::bench_world_config());

@@ -3,11 +3,12 @@
 //! recovering concept labels), then times candidate extraction and each
 //! measure's ranking pass.
 
+use boe_bench::harness::Criterion;
+use boe_bench::{criterion_group, criterion_main};
 use boe_core::termex::candidates::CandidateOptions;
 use boe_core::termex::{TermExtractor, TermMeasure};
 use boe_eval::world::{World, WorldConfig};
 use boe_textkit::normalize::match_key;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::HashSet;
 
 fn bench(c: &mut Criterion) {
@@ -33,7 +34,11 @@ fn bench(c: &mut Criterion) {
             .iter()
             .filter(|t| gold.contains(&match_key(&t.surface)))
             .count();
-        println!("  {:<12} P@100 = {:.3}", measure.name(), hits as f64 / 100.0);
+        println!(
+            "  {:<12} P@100 = {:.3}",
+            measure.name(),
+            hits as f64 / 100.0
+        );
     }
 
     c.bench_function("term_extraction/extract_candidates", |b| {

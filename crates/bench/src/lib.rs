@@ -18,6 +18,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use boe_corpus::synth::mshwsd::MshWsdConfig;
 use boe_eval::exp_sense_number::SenseNumberConfig;
 use boe_eval::world::WorldConfig;

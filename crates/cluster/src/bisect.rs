@@ -9,8 +9,7 @@
 use crate::kmeans;
 use crate::solution::ClusterSolution;
 use boe_corpus::SparseVector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boe_rng::StdRng;
 
 /// Repeated bisection into `k` clusters over unit vectors. With
 /// `refine = true` this is `rbr`.
@@ -41,8 +40,7 @@ pub fn repeated_bisection(
             if sizes[c] < 2 {
                 continue;
             }
-            let tightness =
-                crate::similarity::avg_pairwise_from_composite(&comps[c], sizes[c]);
+            let tightness = crate::similarity::avg_pairwise_from_composite(&comps[c], sizes[c]);
             let score = sizes[c] as f64 * (1.0 - tightness) + 1e-9 * sizes[c] as f64;
             if score > best_score {
                 best_score = score;

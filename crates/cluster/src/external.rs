@@ -93,10 +93,7 @@ pub fn adjusted_rand(solution: &ClusterSolution, gold: &[usize]) -> f64 {
     let (table, _, g) = contingency(solution, gold);
     let choose2 = |x: usize| (x * x.saturating_sub(1)) as f64 / 2.0;
     let sum_ij: f64 = table.iter().flatten().map(|&v| choose2(v)).sum();
-    let sum_i: f64 = table
-        .iter()
-        .map(|r| choose2(r.iter().sum::<usize>()))
-        .sum();
+    let sum_i: f64 = table.iter().map(|r| choose2(r.iter().sum::<usize>())).sum();
     let mut col_sums = vec![0usize; g];
     for row in &table {
         for (c, &v) in row.iter().enumerate() {
@@ -108,7 +105,11 @@ pub fn adjusted_rand(solution: &ClusterSolution, gold: &[usize]) -> f64 {
     let expected = sum_i * sum_j / total;
     let max_index = (sum_i + sum_j) / 2.0;
     if (max_index - expected).abs() < 1e-12 {
-        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+        return if (sum_ij - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_ij - expected) / (max_index - expected)
 }

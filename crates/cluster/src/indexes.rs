@@ -81,7 +81,25 @@ impl InternalIndex {
     }
 
     /// Score `solution` over unit-normalized `unit` vectors.
+    ///
+    /// Total over degenerate input: `f_k` at `k = 1` (where `log10(k)`
+    /// vanishes) reports the worst possible score, and any NaN arising
+    /// from degenerate similarities is mapped to the worst score for the
+    /// index's direction, so argmax/argmin sweeps stay well-defined.
     pub fn score(self, solution: &ClusterSolution, unit: &[SparseVector]) -> f64 {
+        let s = self.raw_score(solution, unit);
+        if s.is_nan() {
+            if self.maximize() {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            s
+        }
+    }
+
+    fn raw_score(self, solution: &ClusterSolution, unit: &[SparseVector]) -> f64 {
         let k = solution.k() as f64;
         match self {
             InternalIndex::Ak => {
@@ -125,7 +143,11 @@ impl InternalIndex {
                 }
             }
             InternalIndex::Fk => {
-                assert!(solution.k() >= 2, "f_k is undefined for k = 1");
+                if solution.k() < 2 {
+                    // f_k = a_k / log10(k) is undefined at k = 1; report
+                    // the worst score so any valid k beats it in a sweep.
+                    return f64::NEG_INFINITY;
+                }
                 let ak = InternalIndex::Ak.score(solution, unit);
                 ak / k.log10()
             }
@@ -270,11 +292,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "undefined for k = 1")]
-    fn fk_panics_for_k1() {
+    fn fk_is_worst_possible_for_k1() {
         let vs = two_blobs();
         let sol = ClusterSolution::new(vec![0; 8], 1);
-        let _ = InternalIndex::Fk.score(&sol, &vs);
+        // Undefined in the paper (log10(1) = 0); must lose every sweep
+        // against a valid k instead of panicking.
+        assert_eq!(InternalIndex::Fk.score(&sol, &vs), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn scores_are_never_nan_on_zero_vectors() {
+        // All-zero context vectors drive every similarity to 0/0 territory;
+        // scores must stay comparable (non-NaN) for argmax sweeps.
+        let vs = vec![SparseVector::new(); 4];
+        let sol = ClusterSolution::new(vec![0, 0, 1, 1], 2);
+        for index in InternalIndex::ALL {
+            let s = index.score(&sol, &vs);
+            assert!(!s.is_nan(), "{index}: NaN leaked");
+        }
     }
 
     #[test]
@@ -299,7 +334,12 @@ mod tests {
     #[test]
     fn ek_handles_perfect_separation() {
         // Orthogonal blobs ⇒ ESIM sums to 0 ⇒ huge but finite score.
-        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0)]), unit(&[(5, 1.0)]), unit(&[(5, 1.0)])];
+        let vs = vec![
+            unit(&[(0, 1.0)]),
+            unit(&[(0, 1.0)]),
+            unit(&[(5, 1.0)]),
+            unit(&[(5, 1.0)]),
+        ];
         let sol = ClusterSolution::new(vec![0, 0, 1, 1], 2);
         let s = InternalIndex::Ek.score(&sol, &vs);
         assert!(s.is_finite());

@@ -102,7 +102,10 @@ mod tests {
         }
         let expected = total / (2.0 * 2.0);
         assert!((st.esim[0] - expected).abs() < 1e-12);
-        assert!((st.esim[0] - st.esim[1]).abs() < 1e-12, "symmetric for 2 clusters of equal size");
+        assert!(
+            (st.esim[0] - st.esim[1]).abs() < 1e-12,
+            "symmetric for 2 clusters of equal size"
+        );
     }
 
     #[test]

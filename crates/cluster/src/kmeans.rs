@@ -6,15 +6,19 @@
 
 use crate::solution::ClusterSolution;
 use boe_corpus::SparseVector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boe_rng::StdRng;
 
 const MAX_ITERS: usize = 100;
 
 /// Cluster unit-normalized `vectors` into `k` clusters.
+///
+/// Callers reach this through [`crate::Algorithm::cluster`], which
+/// documents and enforces `1 <= k <= n`; out-of-range `k` is clamped
+/// here so the invariant degrades instead of panicking.
 pub fn spherical_kmeans(unit: &[SparseVector], k: usize, seed: u64) -> ClusterSolution {
     let n = unit.len();
-    assert!(k >= 1 && k <= n);
+    debug_assert!(k >= 1 && k <= n, "k = {k} out of range for n = {n}");
+    let k = k.clamp(1, n.max(1));
     if k == 1 {
         return ClusterSolution::new(vec![0; n], 1);
     }
@@ -53,13 +57,14 @@ fn farthest_first_seeds(unit: &[SparseVector], k: usize, rng: &mut StdRng) -> Ve
                 best_i = i;
             }
         }
-        seeds.push(unit[best_i].clone());
+        let newest = unit[best_i].clone();
         for (i, v) in unit.iter().enumerate() {
-            let s = v.dot(seeds.last().expect("just pushed"));
+            let s = v.dot(&newest);
             if s > max_sim[i] {
                 max_sim[i] = s;
             }
         }
+        seeds.push(newest);
     }
     seeds
 }
@@ -122,7 +127,12 @@ fn repair_empty_clusters(
                 worst = Some((i, s));
             }
         }
-        let (steal, _) = worst.expect("k <= n guarantees a donor cluster");
+        // `k <= n` guarantees a donor cluster of size >= 2 whenever some
+        // cluster is empty; bail gracefully if that invariant is broken
+        // upstream rather than panicking mid-repair.
+        let Some((steal, _)) = worst else {
+            return;
+        };
         assignments[steal] = empty;
         let new_cents = recompute_centroids(unit, assignments, k);
         centroids.clone_from_slice(&new_cents);

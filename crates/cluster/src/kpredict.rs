@@ -43,19 +43,28 @@ pub struct KPrediction {
     pub scores: Vec<(usize, f64)>,
     /// The winning solution.
     pub solution: ClusterSolution,
+    /// Whether the swept range was narrowed from the requested one
+    /// (because of a degenerate `k_range` or too few contexts) — callers
+    /// surface this as a clamped-k warning.
+    pub clamped: bool,
 }
 
 /// Predict the number of senses of a term from its context vectors.
 /// Returns `None` when there are fewer than 2 contexts (no clustering
 /// signal; the caller treats the term as monosemous).
+///
+/// A degenerate requested range (`lo < 2`, `lo > hi`) or a range wider
+/// than the context count is clamped rather than rejected; the
+/// prediction's `clamped` flag records that the sweep was narrowed.
 pub fn predict_k(contexts: &[SparseVector], cfg: KPredictConfig) -> Option<KPrediction> {
-    let (lo, hi) = cfg.k_range;
-    assert!(lo >= 2 && lo <= hi, "invalid k range {lo}..={hi}");
+    let (req_lo, req_hi) = cfg.k_range;
     if contexts.len() < 2 {
         return None;
     }
-    let hi = hi.min(contexts.len());
+    let lo = req_lo.max(2);
+    let hi = req_hi.max(lo).min(contexts.len());
     let lo = lo.min(hi);
+    let clamped = (lo, hi) != (req_lo, req_hi);
     let mut best: Option<(usize, f64, ClusterSolution)> = None;
     let mut scores = Vec::with_capacity(hi - lo + 1);
     for k in lo..=hi {
@@ -77,11 +86,13 @@ pub fn predict_k(contexts: &[SparseVector], cfg: KPredictConfig) -> Option<KPred
             best = Some((k, s, sol));
         }
     }
-    let (k, _, solution) = best.expect("k range is nonempty");
+    // `lo <= hi` by construction, so the loop ran at least once.
+    let (k, _, solution) = best?;
     Some(KPrediction {
         k,
         scores,
         solution,
+        clamped,
     })
 }
 
@@ -185,6 +196,31 @@ mod tests {
         let pred = predict_k(&vs, KPredictConfig::default()).expect("3 contexts");
         assert!(pred.k <= 3);
         assert_eq!(pred.scores.len(), 2); // k ∈ {2, 3}
+        assert!(pred.clamped, "narrowed sweep must be flagged");
+    }
+
+    #[test]
+    fn full_range_sweep_is_not_flagged_as_clamped() {
+        let vs = blobs(10, 2);
+        let pred = predict_k(&vs, KPredictConfig::default()).expect("enough");
+        assert!(!pred.clamped);
+    }
+
+    #[test]
+    fn degenerate_ranges_are_clamped_not_rejected() {
+        let vs = blobs(10, 2);
+        for k_range in [(0, 0), (1, 1), (5, 2), (2, 2)] {
+            let pred = predict_k(
+                &vs,
+                KPredictConfig {
+                    k_range,
+                    ..Default::default()
+                },
+            )
+            .expect("enough contexts");
+            assert!(pred.k >= 2, "{k_range:?} gave k = {}", pred.k);
+            assert!(!pred.scores.is_empty());
+        }
     }
 
     #[test]

@@ -53,7 +53,11 @@ mod tests {
 
     #[test]
     fn matrix_is_symmetric_with_unit_diagonal() {
-        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0), (1, 1.0)]), unit(&[(1, 1.0)])];
+        let vs = vec![
+            unit(&[(0, 1.0)]),
+            unit(&[(0, 1.0), (1, 1.0)]),
+            unit(&[(1, 1.0)]),
+        ];
         let m = similarity_matrix(&vs);
         for (i, row) in m.iter().enumerate() {
             assert!((row[i] - 1.0).abs() < 1e-12);
@@ -66,7 +70,11 @@ mod tests {
 
     #[test]
     fn composite_identity_matches_direct_sum() {
-        let vs = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0), (1, 1.0)]), unit(&[(1, 1.0)])];
+        let vs = vec![
+            unit(&[(0, 1.0)]),
+            unit(&[(0, 1.0), (1, 1.0)]),
+            unit(&[(1, 1.0)]),
+        ];
         let composite = SparseVector::sum_of(&vs);
         let avg = avg_pairwise_from_composite(&composite, 3);
         // Direct computation.
@@ -91,10 +99,7 @@ mod tests {
     fn i2_of_tight_clusters_exceeds_split() {
         let a = vec![unit(&[(0, 1.0)]), unit(&[(0, 1.0)])];
         let b = vec![unit(&[(1, 1.0)]), unit(&[(1, 1.0)])];
-        let good = [
-            SparseVector::sum_of(&a),
-            SparseVector::sum_of(&b),
-        ];
+        let good = [SparseVector::sum_of(&a), SparseVector::sum_of(&b)];
         let mixed = [
             SparseVector::sum_of(&[a[0].clone(), b[0].clone()]),
             SparseVector::sum_of(&[a[1].clone(), b[1].clone()]),

@@ -1,91 +1,125 @@
 //! Property tests for the clustering substrate.
+//!
+//! Driven by the workspace's own deterministic PRNG (no external
+//! dependencies); each test sweeps seeded random vector collections.
 
 use boe_cluster::external::{adjusted_rand, nmi, purity};
 use boe_cluster::isim::ClusterStats;
 use boe_cluster::kpredict::{predict_k, KPredictConfig};
 use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
 use boe_corpus::SparseVector;
-use proptest::prelude::*;
+use boe_rng::StdRng;
 
-fn vectors_strategy() -> impl Strategy<Value = Vec<SparseVector>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u32..24, 0.1f64..3.0), 1..6),
-        3..20,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(SparseVector::from_pairs)
-            .collect()
-    })
+const CASES: usize = 50;
+
+fn rand_vectors(rng: &mut StdRng) -> Vec<SparseVector> {
+    let n = rng.gen_range(3usize..20);
+    (0..n)
+        .map(|_| {
+            let nnz = rng.gen_range(1usize..6);
+            let pairs: Vec<(u32, f64)> = (0..nnz)
+                .map(|_| (rng.gen_range(0u32..24), 0.1 + rng.gen::<f64>() * 2.9))
+                .collect();
+            SparseVector::from_pairs(pairs)
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn every_algorithm_yields_a_valid_partition(vs in vectors_strategy(), k in 1usize..5, seed in 0u64..20) {
-        let k = k.min(vs.len());
+#[test]
+fn every_algorithm_yields_a_valid_partition() {
+    let mut rng = StdRng::seed_from_u64(40);
+    for _ in 0..CASES {
+        let vs = rand_vectors(&mut rng);
+        let k = rng.gen_range(1usize..5).min(vs.len());
+        let seed = rng.gen_range(0u64..20);
         for alg in Algorithm::ALL {
             let sol = alg.cluster(&vs, k, seed);
-            prop_assert_eq!(sol.k(), k, "{}", alg);
-            prop_assert_eq!(sol.len(), vs.len());
-            prop_assert!(sol.sizes().iter().all(|&s| s > 0), "{}", alg);
+            assert_eq!(sol.k(), k, "{alg}");
+            assert_eq!(sol.len(), vs.len());
+            assert!(sol.sizes().iter().all(|&s| s > 0), "{alg}");
         }
     }
+}
 
-    #[test]
-    fn isim_esim_are_bounded(vs in vectors_strategy(), k in 1usize..4, seed in 0u64..10) {
-        let k = k.min(vs.len());
+#[test]
+fn isim_esim_are_bounded() {
+    let mut rng = StdRng::seed_from_u64(41);
+    for _ in 0..CASES {
+        let vs = rand_vectors(&mut rng);
+        let k = rng.gen_range(1usize..4).min(vs.len());
+        let seed = rng.gen_range(0u64..10);
         let unit: Vec<SparseVector> = vs.iter().map(SparseVector::normalized).collect();
         let sol = Algorithm::Direct.cluster(&vs, k, seed);
         let st = ClusterStats::compute(&sol, &unit);
         for (&i, &e) in st.isim.iter().zip(&st.esim) {
-            prop_assert!((-1.0..=1.0).contains(&i), "ISIM {i}");
-            prop_assert!((-1.0..=1.0).contains(&e), "ESIM {e}");
+            assert!((-1.0..=1.0).contains(&i), "ISIM {i}");
+            assert!((-1.0..=1.0).contains(&e), "ESIM {e}");
         }
-        prop_assert_eq!(st.k(), k);
+        assert_eq!(st.k(), k);
     }
+}
 
-    #[test]
-    fn internal_indexes_are_finite(vs in vectors_strategy(), seed in 0u64..10) {
+#[test]
+fn internal_indexes_are_finite() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..CASES {
+        let vs = rand_vectors(&mut rng);
         if vs.len() < 2 {
-            return Ok(());
+            continue;
         }
+        let seed = rng.gen_range(0u64..10);
         let unit: Vec<SparseVector> = vs.iter().map(SparseVector::normalized).collect();
         let sol = Algorithm::Rbr.cluster(&vs, 2, seed);
         for index in InternalIndex::ALL {
             let s = index.score(&sol, &unit);
-            prop_assert!(s.is_finite(), "{index}: {s}");
+            assert!(s.is_finite(), "{index}: {s}");
         }
     }
+}
 
-    #[test]
-    fn predict_k_respects_the_range(vs in vectors_strategy(), seed in 0u64..10) {
+#[test]
+fn predict_k_respects_the_range() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..CASES {
+        let vs = rand_vectors(&mut rng);
         let cfg = KPredictConfig {
-            seed,
+            seed: rng.gen_range(0u64..10),
             ..Default::default()
         };
         if let Some(pred) = predict_k(&vs, cfg) {
-            prop_assert!((2..=5).contains(&pred.k));
-            prop_assert!(pred.k <= vs.len());
-            prop_assert!(!pred.scores.is_empty());
+            assert!((2..=5).contains(&pred.k));
+            assert!(pred.k <= vs.len());
+            assert!(!pred.scores.is_empty());
         } else {
-            prop_assert!(vs.len() < 2);
+            assert!(vs.len() < 2);
         }
     }
+}
 
-    #[test]
-    fn external_indexes_bounds_and_identity(labels in proptest::collection::vec(0usize..4, 2..24)) {
+#[test]
+fn external_indexes_bounds_and_identity() {
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..24);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..4)).collect();
         // Build a solution identical to gold (relabelled densely).
         let mut map = std::collections::HashMap::new();
         let mut next = 0usize;
         let dense: Vec<usize> = labels
             .iter()
-            .map(|&l| *map.entry(l).or_insert_with(|| { let v = next; next += 1; v }))
+            .map(|&l| {
+                *map.entry(l).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            })
             .collect();
         let k = next.max(1);
         let sol = ClusterSolution::new(dense.clone(), k);
-        prop_assert!((purity(&sol, &dense) - 1.0).abs() < 1e-12);
-        prop_assert!((adjusted_rand(&sol, &dense) - 1.0).abs() < 1e-12 || k == 1 || dense.len() < 2);
-        let n = nmi(&sol, &dense);
-        prop_assert!((0.0..=1.0).contains(&n));
+        assert!((purity(&sol, &dense) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand(&sol, &dense) - 1.0).abs() < 1e-12 || k == 1 || dense.len() < 2);
+        let nmi_v = nmi(&sol, &dense);
+        assert!((0.0..=1.0).contains(&nmi_v));
     }
 }

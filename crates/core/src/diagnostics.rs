@@ -1,0 +1,163 @@
+//! Run diagnostics: what happened, what was skipped, and why.
+//!
+//! A pipeline run that returns `Ok` may still have downgraded individual
+//! terms (degraded-mode execution) or noticed suspicious input. All of
+//! that is recorded here and travels inside the
+//! [`EnrichmentReport`](crate::report::EnrichmentReport), so callers can
+//! distinguish a clean run from a limping one without parsing logs.
+
+use crate::error::Stage;
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock duration of one pipeline stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTiming {
+    /// The stage measured.
+    pub stage: Stage,
+    /// Total wall-clock time spent in the stage.
+    pub elapsed: Duration,
+}
+
+/// One per-term degradation: a stage failed for this term, the term was
+/// downgraded (or skipped) instead of aborting the run.
+#[derive(Debug, Clone)]
+pub struct Degradation {
+    /// The affected candidate term.
+    pub term: String,
+    /// The stage that failed.
+    pub stage: Stage,
+    /// What went wrong, in one line.
+    pub reason: String,
+}
+
+/// Outcome of the Step-II detector training on ontology-derived labels.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DetectorOutcome {
+    /// Training was never reached (e.g. the run failed validation).
+    #[default]
+    NotAttempted,
+    /// A detector was trained.
+    Trained {
+        /// Training examples (ontology terms found in the corpus).
+        examples: usize,
+        /// How many of them are labelled polysemic.
+        positives: usize,
+    },
+    /// No detector could be trained; every term falls back to the
+    /// monosemic majority prior.
+    Fallback {
+        /// Why training was impossible.
+        reason: String,
+    },
+}
+
+/// Structured diagnostics of one pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct RunDiagnostics {
+    /// Per-stage wall-clock timings, in execution order.
+    pub timings: Vec<StageTiming>,
+    /// Validation warnings about suspicious-but-usable input.
+    pub warnings: Vec<String>,
+    /// Terms downgraded or skipped by per-term degraded-mode execution.
+    pub degraded: Vec<Degradation>,
+    /// How Step-II detector training went.
+    pub detector: DetectorOutcome,
+}
+
+impl RunDiagnostics {
+    /// Whether any term was downgraded or any warning raised.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty() || !self.warnings.is_empty()
+    }
+
+    /// Total number of warnings and degradations.
+    pub fn warning_count(&self) -> usize {
+        self.warnings.len() + self.degraded.len()
+    }
+
+    /// Record a degradation.
+    pub fn degrade(&mut self, term: impl Into<String>, stage: Stage, reason: impl Into<String>) {
+        self.degraded.push(Degradation {
+            term: term.into(),
+            stage,
+            reason: reason.into(),
+        });
+    }
+
+    /// Record a validation warning.
+    pub fn warn(&mut self, message: impl Into<String>) {
+        self.warnings.push(message.into());
+    }
+}
+
+impl fmt::Display for RunDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.timings.is_empty() {
+            writeln!(f, "stage timings:")?;
+            for t in &self.timings {
+                writeln!(
+                    f,
+                    "  {:<32} {:>10.3} ms",
+                    t.stage,
+                    t.elapsed.as_secs_f64() * 1e3
+                )?;
+            }
+        }
+        match &self.detector {
+            DetectorOutcome::NotAttempted => {}
+            DetectorOutcome::Trained {
+                examples,
+                positives,
+            } => writeln!(
+                f,
+                "detector: trained on {examples} ontology terms ({positives} polysemic)"
+            )?,
+            DetectorOutcome::Fallback { reason } => {
+                writeln!(f, "detector: monosemic-prior fallback ({reason})")?
+            }
+        }
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
+        }
+        for d in &self.degraded {
+            writeln!(f, "degraded: {:?} at {} — {}", d.term, d.stage, d.reason)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let d = RunDiagnostics::default();
+        assert!(!d.is_degraded());
+        assert_eq!(d.warning_count(), 0);
+        assert_eq!(d.detector, DetectorOutcome::NotAttempted);
+        assert!(d.to_string().is_empty());
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut d = RunDiagnostics::default();
+        d.warn("single-document corpus");
+        d.degrade("cornea", Stage::SenseInduction, "no contexts");
+        d.detector = DetectorOutcome::Fallback {
+            reason: "only one class".into(),
+        };
+        d.timings.push(StageTiming {
+            stage: Stage::TermExtraction,
+            elapsed: Duration::from_millis(12),
+        });
+        let s = d.to_string();
+        assert!(s.contains("single-document corpus"), "{s}");
+        assert!(s.contains("cornea"), "{s}");
+        assert!(s.contains("monosemic-prior fallback"), "{s}");
+        assert!(s.contains("term extraction"), "{s}");
+        assert!(d.is_degraded());
+        assert_eq!(d.warning_count(), 2);
+    }
+}

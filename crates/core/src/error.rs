@@ -1,0 +1,195 @@
+//! Typed failure taxonomy for the enrichment workflow.
+//!
+//! Every way a pipeline run can fail outright is one [`EnrichError`]
+//! variant; per-term trouble inside a run is *not* an error — it
+//! downgrades the term and lands in
+//! [`RunDiagnostics`](crate::diagnostics::RunDiagnostics) instead.
+//! The taxonomy is dependency-free (std only) and implements
+//! [`std::error::Error`] so callers can box, chain and `?` it.
+
+use boe_textkit::Language;
+use std::fmt;
+
+/// The workflow stage a failure or degradation is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Upfront input validation, before Step I.
+    Validation,
+    /// Step I — term extraction.
+    TermExtraction,
+    /// Step II — polysemy detection.
+    PolysemyDetection,
+    /// Step III — sense induction.
+    SenseInduction,
+    /// Step IV — semantic linkage.
+    SemanticLinkage,
+}
+
+impl Stage {
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Validation => "validation",
+            Stage::TermExtraction => "term extraction (step I)",
+            Stage::PolysemyDetection => "polysemy detection (step II)",
+            Stage::SenseInduction => "sense induction (step III)",
+            Stage::SemanticLinkage => "semantic linkage (step IV)",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an enrichment run cannot produce a report.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EnrichError {
+    /// The input is structurally unusable (unparseable, inconsistent).
+    InvalidInput(String),
+    /// The corpus has no documents (or no tokens at all).
+    EmptyCorpus,
+    /// The ontology has no concepts.
+    EmptyOntology,
+    /// Corpus and ontology disagree on language; every downstream stage
+    /// (stemming, stopwords, term patterns) would silently misfire.
+    LanguageMismatch {
+        /// The corpus language.
+        corpus: Language,
+        /// The ontology language.
+        ontology: Language,
+    },
+    /// A requested term does not occur in the corpus vocabulary.
+    UnknownTerm(String),
+    /// A stage failed in a way that could not be downgraded.
+    StageFailure {
+        /// The stage that failed.
+        stage: Stage,
+        /// The term being processed (empty for corpus-wide failures).
+        term: String,
+        /// What went wrong.
+        cause: String,
+    },
+    /// Strict mode promoted degraded-mode warnings to a hard error.
+    Degraded {
+        /// Number of warnings / degraded terms in the run.
+        warnings: usize,
+    },
+}
+
+impl EnrichError {
+    /// Stable process exit code for this error class (the `boe` CLI
+    /// reserves 0 for success, 1 for I/O errors and 2 for usage errors).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            EnrichError::InvalidInput(_)
+            | EnrichError::EmptyCorpus
+            | EnrichError::EmptyOntology => 3,
+            EnrichError::LanguageMismatch { .. } => 4,
+            EnrichError::UnknownTerm(_) => 5,
+            EnrichError::StageFailure { .. } => 6,
+            EnrichError::Degraded { .. } => 7,
+        }
+    }
+}
+
+impl fmt::Display for EnrichError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnrichError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+            EnrichError::EmptyCorpus => write!(f, "the corpus contains no documents"),
+            EnrichError::EmptyOntology => write!(f, "the ontology contains no concepts"),
+            EnrichError::LanguageMismatch { corpus, ontology } => write!(
+                f,
+                "language mismatch: corpus is {corpus}, ontology is {ontology}"
+            ),
+            EnrichError::UnknownTerm(term) => {
+                write!(f, "term {term:?} does not occur in the corpus")
+            }
+            EnrichError::StageFailure { stage, term, cause } => {
+                if term.is_empty() {
+                    write!(f, "{stage} failed: {cause}")
+                } else {
+                    write!(f, "{stage} failed on {term:?}: {cause}")
+                }
+            }
+            EnrichError::Degraded { warnings } => {
+                write!(f, "strict mode: run degraded with {warnings} warning(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnrichError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EnrichError::LanguageMismatch {
+            corpus: Language::English,
+            ontology: Language::French,
+        };
+        let s = e.to_string();
+        assert!(s.contains("en") && s.contains("fr"), "{s}");
+        assert!(EnrichError::EmptyCorpus
+            .to_string()
+            .contains("no documents"));
+        let sf = EnrichError::StageFailure {
+            stage: Stage::SenseInduction,
+            term: "cornea".into(),
+            cause: "boom".into(),
+        };
+        assert!(sf.to_string().contains("step III"), "{sf}");
+        assert!(sf.to_string().contains("cornea"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let errors = [
+            EnrichError::InvalidInput("x".into()),
+            EnrichError::LanguageMismatch {
+                corpus: Language::English,
+                ontology: Language::Spanish,
+            },
+            EnrichError::UnknownTerm("x".into()),
+            EnrichError::StageFailure {
+                stage: Stage::Validation,
+                term: String::new(),
+                cause: "x".into(),
+            },
+            EnrichError::Degraded { warnings: 1 },
+        ];
+        let mut codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
+        // Empty corpus/ontology share the invalid-input class.
+        assert_eq!(EnrichError::EmptyCorpus.exit_code(), 3);
+        assert_eq!(EnrichError::EmptyOntology.exit_code(), 3);
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len(), "codes collide");
+        assert!(codes.iter().all(|&c| c >= 3), "0–2 are reserved");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(EnrichError::EmptyCorpus);
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn stage_names_follow_the_paper() {
+        assert_eq!(
+            Stage::TermExtraction.to_string(),
+            "term extraction (step I)"
+        );
+        assert_eq!(
+            Stage::SemanticLinkage.to_string(),
+            "semantic linkage (step IV)"
+        );
+    }
+}

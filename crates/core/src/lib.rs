@@ -12,11 +12,15 @@
 //! | future work — relation typing via verb patterns | [`relation`] | §4 |
 //!
 //! [`pipeline`] chains the four steps into one [`pipeline::EnrichmentPipeline`]
-//! and [`report`] holds the result types.
+//! and [`report`] holds the result types. Failures are typed ([`error`])
+//! and every run carries structured [`diagnostics`]: per-term trouble in
+//! Steps II–IV downgrades the term instead of aborting the run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diagnostics;
+pub mod error;
 pub mod linkage;
 pub mod pipeline;
 pub mod polysemy;
@@ -25,5 +29,7 @@ pub mod report;
 pub mod senses;
 pub mod termex;
 
+pub use diagnostics::RunDiagnostics;
+pub use error::{EnrichError, Stage};
 pub use pipeline::{EnrichmentPipeline, PipelineConfig};
 pub use report::EnrichmentReport;

@@ -1,7 +1,9 @@
 //! The ontology-term inventory of a corpus: which ontology terms occur in
 //! the text, where, and with what aggregate context.
 
-use boe_corpus::context::{aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap};
+use boe_corpus::context::{
+    aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap,
+};
 use boe_corpus::{Corpus, SparseVector};
 use boe_ontology::{ConceptId, Ontology};
 use boe_textkit::TokenId;
@@ -96,10 +98,8 @@ impl OntologyTermInventory {
                 continue;
             }
             let context = aggregate_context(corpus, &tokens, opts, Some(stems));
-            let mut pres: Vec<(u32, u32)> = occs
-                .iter()
-                .map(|o| (o.doc.0, o.sentence as u32))
-                .collect();
+            let mut pres: Vec<(u32, u32)> =
+                occs.iter().map(|o| (o.doc.0, o.sentence as u32)).collect();
             pres.sort_unstable();
             pres.dedup();
             by_key.insert(key.clone(), terms.len());
@@ -214,7 +214,10 @@ mod tests {
         // Sentence (0, 0) contains "corneal diseases" only; (0, 1)
         // contains "eye diseases".
         let nb = inv.cooccurring(&[(0, 0)]);
-        let surfaces: Vec<&str> = nb.iter().map(|&i| inv.terms()[i].surface.as_str()).collect();
+        let surfaces: Vec<&str> = nb
+            .iter()
+            .map(|&i| inv.terms()[i].surface.as_str())
+            .collect();
         assert_eq!(surfaces, vec!["corneal diseases"]);
         assert!(inv.cooccurring(&[(9, 9)]).is_empty());
     }

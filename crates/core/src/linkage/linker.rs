@@ -1,7 +1,9 @@
 //! The semantic linker.
 
 use crate::linkage::inventory::OntologyTermInventory;
-use boe_corpus::context::{aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap};
+use boe_corpus::context::{
+    aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap,
+};
 use boe_corpus::Corpus;
 use boe_ontology::{query, ConceptId, Ontology};
 use std::collections::HashMap;
@@ -132,10 +134,8 @@ impl<'c> SemanticLinker<'c> {
             scope: self.config.scope,
         };
         let candidate_ctx = aggregate_context(self.corpus, &tokens, opts, Some(&self.stems));
-        let sentences: Vec<(u32, u32)> = occs
-            .iter()
-            .map(|o| (o.doc.0, o.sentence as u32))
-            .collect();
+        let sentences: Vec<(u32, u32)> =
+            occs.iter().map(|o| (o.doc.0, o.sentence as u32)).collect();
 
         // (1) MeSH neighbourhood: ontology terms co-occurring with the
         // candidate, excluding the candidate itself if it is already a
@@ -159,7 +159,11 @@ impl<'c> SemanticLinker<'c> {
                 let concepts = self.inventory.terms()[i].concepts.clone();
                 for c in concepts {
                     for &f in query::fathers(self.ontology, c) {
-                        self.add_concept_terms(&mut positions, f, PositionOrigin::FatherOfNeighbour);
+                        self.add_concept_terms(
+                            &mut positions,
+                            f,
+                            PositionOrigin::FatherOfNeighbour,
+                        );
                     }
                     for &s in query::sons(self.ontology, c) {
                         self.add_concept_terms(&mut positions, s, PositionOrigin::SonOfNeighbour);
@@ -256,7 +260,10 @@ mod tests {
         let terms: Vec<&str> = props.iter().map(|p| p.term.as_str()).collect();
         assert!(terms.contains(&"eye diseases"), "{terms:?}");
         assert!(terms.contains(&"corneal ulcer"), "{terms:?}");
-        let ulcer = props.iter().find(|p| p.term == "corneal ulcer").expect("present");
+        let ulcer = props
+            .iter()
+            .find(|p| p.term == "corneal ulcer")
+            .expect("present");
         assert_eq!(ulcer.origin, PositionOrigin::SonOfNeighbour);
     }
 

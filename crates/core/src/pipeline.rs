@@ -8,15 +8,25 @@
 //! supervision derived from the *ontology itself* (terms the ontology
 //! marks polysemic vs a sample of monosemic terms found in the corpus) —
 //! exactly the supervision available to the paper's authors via UMLS.
+//!
+//! Runs are fallible and self-diagnosing: unusable input is rejected
+//! upfront with a typed [`EnrichError`], while per-term trouble in Steps
+//! II–IV *degrades* that one term (monosemic prior, senses/linkage
+//! omitted) and records the reason in [`RunDiagnostics`] instead of
+//! aborting the whole run.
 
+use crate::diagnostics::{DetectorOutcome, RunDiagnostics, StageTiming};
+use crate::error::{EnrichError, Stage};
 use crate::linkage::{LinkerConfig, SemanticLinker};
 use crate::polysemy::detector::{FeatureContext, PolysemyDetector, PolysemyModel};
 use crate::report::{EnrichmentReport, TermReport};
-use crate::senses::{SenseInducer, SenseInducerConfig};
+use crate::senses::{InducedSenses, SenseInducer, SenseInducerConfig};
 use crate::termex::candidates::CandidateOptions;
 use crate::termex::{TermExtractor, TermMeasure};
 use boe_corpus::Corpus;
 use boe_ontology::Ontology;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -66,8 +76,22 @@ impl EnrichmentPipeline {
     }
 
     /// Run all four steps.
-    pub fn run(&self, corpus: &Corpus, ontology: &Ontology) -> EnrichmentReport {
+    ///
+    /// Rejects unusable input upfront (empty corpus/ontology, language
+    /// mismatch). A failure on one candidate in Steps II–IV downgrades
+    /// that term — polysemy falls back to the monosemic prior, senses
+    /// and linkage are omitted — and is recorded in the report's
+    /// [`RunDiagnostics`] rather than failing the run.
+    pub fn run(
+        &self,
+        corpus: &Corpus,
+        ontology: &Ontology,
+    ) -> Result<EnrichmentReport, EnrichError> {
+        let mut diag = RunDiagnostics::default();
+        validate(corpus, ontology, &mut diag)?;
+
         // Step I: extract and rank candidates.
+        let t0 = Instant::now();
         let extractor = TermExtractor::new(corpus, self.config.candidates);
         let ranked = extractor.top(corpus, self.config.measure, self.config.top_terms);
 
@@ -82,29 +106,80 @@ impl EnrichmentPipeline {
                 new_terms.push(r);
             }
         }
+        diag.timings.push(StageTiming {
+            stage: Stage::TermExtraction,
+            elapsed: t0.elapsed(),
+        });
+        if new_terms.is_empty() {
+            diag.warn("step I extracted no new candidate terms");
+        }
 
-        // Step II: train the detector on ontology-derived weak labels and
-        // classify the new candidates.
+        // Step II: train the detector on ontology-derived weak labels.
+        let t0 = Instant::now();
         let features = FeatureContext::build(corpus);
-        let detector = self.train_detector(corpus, ontology, &features);
+        let detector = self.train_detector(corpus, ontology, &features, &mut diag);
+        let mut detect_time = t0.elapsed();
 
-        // Step III setup.
+        // Step III/IV setup.
+        let t0 = Instant::now();
         let inducer = SenseInducer::new(corpus, self.config.senses);
-        // Step IV setup.
+        let mut induce_time = t0.elapsed();
+        let t0 = Instant::now();
         let linker = SemanticLinker::new(corpus, ontology, self.config.linker);
+        let mut link_time = t0.elapsed();
 
         let mut terms = Vec::with_capacity(new_terms.len());
         for r in new_terms {
             let Some(tokens) = corpus.phrase_ids(&r.surface) else {
+                diag.degrade(
+                    r.surface.clone(),
+                    Stage::TermExtraction,
+                    "candidate tokens missing from the corpus vocabulary",
+                );
                 continue;
             };
-            let fv = features.features(&tokens, &r.surface);
-            let polysemic = match &detector {
-                Some(d) => d.is_polysemic(&fv),
-                None => false,
-            };
-            let senses = inducer.induce(&tokens, polysemic);
-            let propositions = linker.propose(&r.surface);
+
+            // Step II: classify; a failure falls back to the monosemic
+            // majority prior.
+            let t0 = Instant::now();
+            let polysemic = guarded(
+                &mut diag,
+                Stage::PolysemyDetection,
+                &r.surface,
+                || match &detector {
+                    Some(d) => d.is_polysemic(&features.features(&tokens, &r.surface)),
+                    None => false,
+                },
+                || false,
+            );
+            detect_time += t0.elapsed();
+
+            // Step III: a failure downgrades to a single omitted sense.
+            let t0 = Instant::now();
+            let senses = guarded(
+                &mut diag,
+                Stage::SenseInduction,
+                &r.surface,
+                || inducer.induce(&tokens, polysemic),
+                || InducedSenses {
+                    k: 1,
+                    concepts: Vec::new(),
+                    assignments: Vec::new(),
+                },
+            );
+            induce_time += t0.elapsed();
+
+            // Step IV: a failure omits the propositions.
+            let t0 = Instant::now();
+            let propositions = guarded(
+                &mut diag,
+                Stage::SemanticLinkage,
+                &r.surface,
+                || linker.propose(&r.surface),
+                Vec::new,
+            );
+            link_time += t0.elapsed();
+
             terms.push(TermReport {
                 surface: r.surface,
                 term_score: r.score,
@@ -113,21 +188,31 @@ impl EnrichmentPipeline {
                 propositions,
             });
         }
-        EnrichmentReport {
+        for (stage, elapsed) in [
+            (Stage::PolysemyDetection, detect_time),
+            (Stage::SenseInduction, induce_time),
+            (Stage::SemanticLinkage, link_time),
+        ] {
+            diag.timings.push(StageTiming { stage, elapsed });
+        }
+        Ok(EnrichmentReport {
             terms,
             already_known,
-        }
+            diagnostics: diag,
+        })
     }
 
     /// Weak supervision for Step II: ontology terms found in the corpus,
     /// labelled polysemic iff the ontology attaches them to ≥ 2 concepts.
     /// Returns `None` when either class is missing (detector then
-    /// defaults to "monosemic", the majority prior).
+    /// defaults to "monosemic", the majority prior); the outcome is
+    /// recorded in `diag.detector` either way.
     fn train_detector(
         &self,
         corpus: &Corpus,
         ontology: &Ontology,
         features: &FeatureContext<'_>,
+        diag: &mut RunDiagnostics,
     ) -> Option<PolysemyDetector> {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
@@ -143,13 +228,76 @@ impl EnrichmentPipeline {
         }
         let pos = labels.iter().filter(|&&l| l).count();
         if pos == 0 || pos == labels.len() || labels.len() < 4 {
+            diag.detector = DetectorOutcome::Fallback {
+                reason: format!(
+                    "{} usable training terms, {pos} polysemic — need both classes and ≥ 4 terms",
+                    labels.len()
+                ),
+            };
             return None;
         }
+        diag.detector = DetectorOutcome::Trained {
+            examples: labels.len(),
+            positives: pos,
+        };
         Some(PolysemyDetector::train(
             self.config.polysemy_model,
             rows,
             labels,
         ))
+    }
+}
+
+/// Upfront input validation: hard errors for unusable input, warnings
+/// for suspicious-but-usable input.
+fn validate(
+    corpus: &Corpus,
+    ontology: &Ontology,
+    diag: &mut RunDiagnostics,
+) -> Result<(), EnrichError> {
+    if corpus.is_empty() || corpus.token_count() == 0 {
+        return Err(EnrichError::EmptyCorpus);
+    }
+    if ontology.is_empty() {
+        return Err(EnrichError::EmptyOntology);
+    }
+    if corpus.language() != ontology.language() {
+        return Err(EnrichError::LanguageMismatch {
+            corpus: corpus.language(),
+            ontology: ontology.language(),
+        });
+    }
+    if corpus.len() == 1 {
+        diag.warn("single-document corpus: document-frequency measures are degenerate");
+    }
+    if ontology.len() == 1 {
+        diag.warn("single-concept ontology: linkage has no structure to propose into");
+    }
+    Ok(())
+}
+
+/// Run `f`, catching panics: on a panic the term is degraded at `stage`
+/// with the panic message as reason and `fallback` supplies the value.
+fn guarded<T>(
+    diag: &mut RunDiagnostics,
+    stage: Stage,
+    term: &str,
+    f: impl FnOnce() -> T,
+    fallback: impl FnOnce() -> T,
+) -> T {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => v,
+        Err(payload) => {
+            let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_owned()
+            };
+            diag.degrade(term, stage, reason);
+            fallback()
+        }
     }
 }
 
@@ -188,7 +336,7 @@ mod tests {
     fn pipeline_runs_end_to_end() {
         let (c, o) = world();
         let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-        let report = pipeline.run(&c, &o);
+        let report = pipeline.run(&c, &o).expect("valid input");
         assert!(!report.is_empty(), "no candidates analysed");
         let ci = report.get("corneal injuries").expect("analysed");
         assert!(ci.term_score > 0.0);
@@ -201,7 +349,7 @@ mod tests {
     fn known_terms_are_set_aside() {
         let (c, o) = world();
         let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-        let report = pipeline.run(&c, &o);
+        let report = pipeline.run(&c, &o).expect("valid input");
         assert!(report
             .already_known
             .iter()
@@ -213,9 +361,14 @@ mod tests {
     fn sense_counts_are_in_range() {
         let (c, o) = world();
         let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-        let report = pipeline.run(&c, &o);
+        let report = pipeline.run(&c, &o).expect("valid input");
         for t in &report.terms {
-            assert!((1..=5).contains(&t.senses.k), "{}: k={}", t.surface, t.senses.k);
+            assert!(
+                (1..=5).contains(&t.senses.k),
+                "{}: k={}",
+                t.surface,
+                t.senses.k
+            );
         }
     }
 
@@ -223,9 +376,74 @@ mod tests {
     fn report_displays() {
         let (c, o) = world();
         let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-        let report = pipeline.run(&c, &o);
+        let report = pipeline.run(&c, &o).expect("valid input");
         let s = report.to_string();
         assert!(s.contains("enrichment report"));
         assert!(s.contains("corneal injuries"));
+    }
+
+    #[test]
+    fn empty_corpus_is_a_typed_error() {
+        let (_, o) = world();
+        let empty = CorpusBuilder::new(Language::English).build();
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        assert!(matches!(
+            pipeline.run(&empty, &o),
+            Err(EnrichError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn language_mismatch_is_a_typed_error() {
+        let (c, _) = world();
+        let mut ob = OntologyBuilder::new("fr", Language::French);
+        ob.add_concept("maladies", vec![]);
+        let o = ob.build().expect("valid");
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        match pipeline.run(&c, &o) {
+            Err(EnrichError::LanguageMismatch { corpus, ontology }) => {
+                assert_eq!(corpus, Language::English);
+                assert_eq!(ontology, Language::French);
+            }
+            other => panic!("expected LanguageMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diagnostics_record_timings_and_detector() {
+        let (c, o) = world();
+        let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
+        let report = pipeline.run(&c, &o).expect("valid input");
+        let stages: Vec<Stage> = report.diagnostics.timings.iter().map(|t| t.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                Stage::TermExtraction,
+                Stage::PolysemyDetection,
+                Stage::SenseInduction,
+                Stage::SemanticLinkage,
+            ]
+        );
+        assert_ne!(
+            report.diagnostics.detector,
+            DetectorOutcome::NotAttempted,
+            "training outcome must be recorded"
+        );
+    }
+
+    #[test]
+    fn guarded_records_degradation_and_falls_back() {
+        let mut diag = RunDiagnostics::default();
+        let v = guarded(
+            &mut diag,
+            Stage::SenseInduction,
+            "cornea",
+            || -> usize { panic!("boom {}", 7) },
+            || 42,
+        );
+        assert_eq!(v, 42);
+        assert_eq!(diag.degraded.len(), 1);
+        assert_eq!(diag.degraded[0].term, "cornea");
+        assert_eq!(diag.degraded[0].reason, "boom 7");
     }
 }

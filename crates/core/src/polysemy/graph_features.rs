@@ -191,7 +191,11 @@ mod tests {
 
     #[test]
     fn clustering_detects_tight_neighbourhood() {
-        let (c, ctx) = setup(&["monox alpha beta.", "monox alpha beta.", "alpha beta gamma."]);
+        let (c, ctx) = setup(&[
+            "monox alpha beta.",
+            "monox alpha beta.",
+            "alpha beta gamma.",
+        ]);
         let monox = c.vocab().get("monox").expect("id");
         let f = graph_features(&ctx, &[monox]);
         // alpha and beta are connected ⇒ local clustering 1.0.

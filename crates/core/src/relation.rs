@@ -52,9 +52,9 @@ fn verb_relation(verb: &str) -> Option<RelationType> {
             RelationType::Treatment
         }
         "is" | "are" | "was" | "were" | "remains" => RelationType::Taxonomic,
-        "involves" | "involve" | "involved" | "affects" | "affect" | "affected"
-        | "suggests" | "suggest" | "indicates" | "indicate" | "shows" | "show" | "showed"
-        | "reveals" | "requires" | "require" | "required" => RelationType::Association,
+        "involves" | "involve" | "involved" | "affects" | "affect" | "affected" | "suggests"
+        | "suggest" | "indicates" | "indicate" | "shows" | "show" | "showed" | "reveals"
+        | "requires" | "require" | "required" => RelationType::Association,
         _ => return None,
     })
 }
@@ -73,11 +73,7 @@ pub struct RelationEvidence {
 /// Extract the relation type between `a` and `b` from the verbs found
 /// between their mentions in shared sentences. `None` when the two terms
 /// never share a sentence.
-pub fn extract_relation(
-    corpus: &Corpus,
-    a: &[TokenId],
-    b: &[TokenId],
-) -> Option<RelationEvidence> {
+pub fn extract_relation(corpus: &Corpus, a: &[TokenId], b: &[TokenId]) -> Option<RelationEvidence> {
     let occ_a = find_occurrences(corpus, a);
     let occ_b = find_occurrences(corpus, b);
     // Index b's occurrences by (doc, sentence).

@@ -1,5 +1,6 @@
 //! Result types of a full pipeline run.
 
+use crate::diagnostics::RunDiagnostics;
 use crate::linkage::Proposition;
 use crate::senses::InducedSenses;
 use std::fmt;
@@ -27,6 +28,8 @@ pub struct EnrichmentReport {
     pub terms: Vec<TermReport>,
     /// Candidates skipped because they already appear in the ontology.
     pub already_known: Vec<String>,
+    /// What happened during the run: timings, warnings, degraded terms.
+    pub diagnostics: RunDiagnostics,
 }
 
 impl EnrichmentReport {
@@ -44,6 +47,11 @@ impl EnrichmentReport {
     pub fn get(&self, surface: &str) -> Option<&TermReport> {
         self.terms.iter().find(|t| t.surface == surface)
     }
+
+    /// Whether the run downgraded any term or raised any warning.
+    pub fn is_degraded(&self) -> bool {
+        self.diagnostics.is_degraded()
+    }
 }
 
 impl fmt::Display for EnrichmentReport {
@@ -60,14 +68,33 @@ impl fmt::Display for EnrichmentReport {
                 "  {:<30} score {:>8.3}  {}  k={}  {} propositions",
                 t.surface,
                 t.term_score,
-                if t.polysemic { "polysemic " } else { "monosemic " },
+                if t.polysemic {
+                    "polysemic "
+                } else {
+                    "monosemic "
+                },
                 t.senses.k,
                 t.propositions.len()
             )?;
             for (i, p) in t.propositions.iter().enumerate().take(3) {
-                writeln!(f, "    {}. {} (cos {:.4}, {})", i + 1, p.term, p.cosine, p.origin.name())?;
+                writeln!(
+                    f,
+                    "    {}. {} (cos {:.4}, {})",
+                    i + 1,
+                    p.term,
+                    p.cosine,
+                    p.origin.name()
+                )?;
             }
         }
+        if self.diagnostics.is_degraded() {
+            writeln!(
+                f,
+                "run degraded: {} warning(s)",
+                self.diagnostics.warning_count()
+            )?;
+        }
+        write!(f, "{}", self.diagnostics)?;
         Ok(())
     }
 }
@@ -100,10 +127,22 @@ mod tests {
                 propositions: vec![],
             }],
             already_known: vec!["cornea".into()],
+            diagnostics: RunDiagnostics::default(),
         };
         let s = r.to_string();
         assert!(s.contains("corneal injuries"));
         assert!(s.contains("1 already known"));
         assert!(r.get("corneal injuries").is_some());
+        assert!(!r.is_degraded());
+    }
+
+    #[test]
+    fn degraded_runs_are_flagged_in_display() {
+        let mut r = EnrichmentReport::default();
+        r.diagnostics.warn("single-document corpus");
+        assert!(r.is_degraded());
+        let s = r.to_string();
+        assert!(s.contains("run degraded: 1 warning(s)"), "{s}");
+        assert!(s.contains("single-document corpus"), "{s}");
     }
 }

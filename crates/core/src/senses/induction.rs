@@ -80,7 +80,13 @@ impl<'c> SenseInducer<'c> {
     /// The per-occurrence context vectors of a term under the configured
     /// representation.
     pub fn contexts(&self, phrase: &[TokenId]) -> Vec<SparseVector> {
-        build_representation(self.corpus, phrase, self.config.representation, &self.stems, self.config.scope)
+        build_representation(
+            self.corpus,
+            phrase,
+            self.config.representation,
+            &self.stems,
+            self.config.scope,
+        )
     }
 
     /// Predict only the number of senses of a (polysemic) term.
@@ -114,7 +120,10 @@ impl<'c> SenseInducer<'c> {
         let solution: ClusterSolution = if !is_polysemic || ctxs.len() < 2 {
             ClusterSolution::new(vec![0; ctxs.len()], 1)
         } else {
-            let pred = predict_k(
+            // `predict_k` only declines with < 2 contexts, which the
+            // branch above already handles — but fall back to a single
+            // sense rather than panicking if that ever changes.
+            match predict_k(
                 &ctxs,
                 KPredictConfig {
                     k_range: self.config.k_range,
@@ -122,9 +131,10 @@ impl<'c> SenseInducer<'c> {
                     index: self.config.index,
                     seed: self.config.seed,
                 },
-            )
-            .expect("ctxs.len() >= 2");
-            pred.solution
+            ) {
+                Some(pred) => pred.solution,
+                None => ClusterSolution::new(vec![0; ctxs.len()], 1),
+            }
         };
         let concepts = induce_concepts(&solution, &ctxs, self.config.top_features);
         InducedSenses {
@@ -139,10 +149,7 @@ impl<'c> SenseInducer<'c> {
     /// resolved).
     pub fn feature_label(&self, dim: u32) -> Option<&str> {
         match self.config.representation {
-            Representation::BagOfWords => self
-                .stems
-                .stems()
-                .try_text(boe_textkit::TokenId(dim)),
+            Representation::BagOfWords => self.stems.stems().try_text(boe_textkit::TokenId(dim)),
             Representation::Graph => None,
         }
     }
@@ -200,7 +207,10 @@ mod tests {
                 }
             }
         }
-        assert!(labels.iter().any(|l| l == "alpha" || l == "omega"), "{labels:?}");
+        assert!(
+            labels.iter().any(|l| l == "alpha" || l == "omega"),
+            "{labels:?}"
+        );
     }
 
     #[test]
@@ -235,6 +245,9 @@ mod tests {
         let ids = c.phrase_ids("poly").expect("known");
         let senses = inducer.induce(&ids, true);
         assert_eq!(senses.k, 2);
-        assert!(inducer.feature_label(0).is_none(), "graph dims unresolvable");
+        assert!(
+            inducer.feature_label(0).is_none(),
+            "graph dims unresolvable"
+        );
     }
 }

@@ -111,7 +111,13 @@ mod tests {
         let c = corpus(&["target alpha beta.", "target gamma delta."]);
         let stems = StemMap::build(&c);
         let ids = c.phrase_ids("target").expect("known");
-        let vs = build_representation(&c, &ids, Representation::BagOfWords, &stems, ContextScope::Sentence);
+        let vs = build_representation(
+            &c,
+            &ids,
+            Representation::BagOfWords,
+            &stems,
+            ContextScope::Sentence,
+        );
         assert_eq!(vs.len(), 2);
         assert!(vs.iter().all(|v| v.nnz() == 2));
         assert_eq!(vs[0].cosine(&vs[1]), 0.0, "disjoint contexts");
@@ -122,7 +128,13 @@ mod tests {
         let c = corpus(&["target alpha beta gamma."]);
         let stems = StemMap::build(&c);
         let ids = c.phrase_ids("target").expect("known");
-        let vs = build_representation(&c, &ids, Representation::Graph, &stems, ContextScope::Sentence);
+        let vs = build_representation(
+            &c,
+            &ids,
+            Representation::Graph,
+            &stems,
+            ContextScope::Sentence,
+        );
         // 3 context words → C(3,2) = 3 pair dimensions.
         assert_eq!(vs[0].nnz(), 3);
     }
@@ -138,8 +150,20 @@ mod tests {
         ]);
         let stems = StemMap::build(&c);
         let ids = c.phrase_ids("target").expect("known");
-        let bow = build_representation(&c, &ids, Representation::BagOfWords, &stems, ContextScope::Sentence);
-        let graph = build_representation(&c, &ids, Representation::Graph, &stems, ContextScope::Sentence);
+        let bow = build_representation(
+            &c,
+            &ids,
+            Representation::BagOfWords,
+            &stems,
+            ContextScope::Sentence,
+        );
+        let graph = build_representation(
+            &c,
+            &ids,
+            Representation::Graph,
+            &stems,
+            ContextScope::Sentence,
+        );
         // occurrences 0 and 1: bow share "common" → cos = 0.5; graph pair
         // dims (common,alpha) vs (common,beta) are disjoint → cos = 0.
         assert!(bow[0].cosine(&bow[1]) > 0.4);
@@ -160,7 +184,13 @@ mod tests {
         let c = corpus(&["target graft tissue.", "target grafts tissue."]);
         let stems = StemMap::build(&c);
         let ids = c.phrase_ids("target").expect("known");
-        let vs = build_representation(&c, &ids, Representation::BagOfWords, &stems, ContextScope::Sentence);
+        let vs = build_representation(
+            &c,
+            &ids,
+            Representation::BagOfWords,
+            &stems,
+            ContextScope::Sentence,
+        );
         assert!((vs[0].cosine(&vs[1]) - 1.0).abs() < 1e-9);
     }
 

@@ -3,7 +3,7 @@
 use crate::termex::candidates::{extract_candidates, CandidateOptions, CandidateSet};
 use crate::termex::lidf::lidf_value;
 use crate::termex::measures::{c_value, f_ocapi, f_tfidf_c, phrase_okapi, phrase_tf_idf};
-use crate::termex::tergraph::{term_cooccurrence_graph, tergraph_scores};
+use crate::termex::tergraph::{tergraph_scores, term_cooccurrence_graph};
 use boe_corpus::index::InvertedIndex;
 use boe_corpus::weighting::Bm25Params;
 use boe_corpus::Corpus;

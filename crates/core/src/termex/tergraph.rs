@@ -122,7 +122,11 @@ mod tests {
             "cornea scars. epithelium thins.",
         ]);
         let g = term_cooccurrence_graph(&c, &set);
-        let a = set.terms.iter().position(|t| t.surface == "cornea").expect("kept");
+        let a = set
+            .terms
+            .iter()
+            .position(|t| t.surface == "cornea")
+            .expect("kept");
         let b = set
             .terms
             .iter()

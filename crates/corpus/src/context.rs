@@ -44,9 +44,13 @@ impl StemMap {
         StemMap { map, stems }
     }
 
-    /// Stem dimension for a corpus token id.
+    /// Stem dimension for a corpus token id. Token ids from a different
+    /// corpus than the map was built for fall back to the raw token
+    /// dimension (same vector-space shape, no conflation) instead of
+    /// panicking.
     pub fn stem_dim(&self, t: TokenId) -> u32 {
-        self.map[t.index()]
+        debug_assert!(t.index() < self.map.len(), "token id from another corpus");
+        self.map.get(t.index()).copied().unwrap_or(t.0)
     }
 
     /// The stem vocabulary (dimension ↔ stem string).
@@ -124,6 +128,9 @@ pub fn context_vector(
     stems: Option<&StemMap>,
 ) -> SparseVector {
     let doc = corpus.doc(occ.doc);
+    // Occurrences come from `find_occurrences` on the same corpus, so
+    // the sentence index is in range by construction.
+    debug_assert!(occ.sentence < doc.sentences.len());
     let mut pairs = Vec::new();
     let mut collect = |sentence_idx: usize, lo: usize, hi: usize| {
         let s = &doc.sentences[sentence_idx];

@@ -64,9 +64,7 @@ impl Document {
     }
 
     /// Iterate all `(sentence_idx, position, token, tag)` quadruples.
-    pub fn iter_tokens(
-        &self,
-    ) -> impl Iterator<Item = (usize, usize, TokenId, PosTag)> + '_ {
+    pub fn iter_tokens(&self) -> impl Iterator<Item = (usize, usize, TokenId, PosTag)> + '_ {
         self.sentences.iter().enumerate().flat_map(|(si, s)| {
             s.tokens
                 .iter()
@@ -83,7 +81,10 @@ mod tests {
 
     #[test]
     fn sentence_invariant() {
-        let s = Sentence::new(vec![TokenId(0), TokenId(1)], vec![PosTag::Noun, PosTag::Noun]);
+        let s = Sentence::new(
+            vec![TokenId(0), TokenId(1)],
+            vec![PosTag::Noun, PosTag::Noun],
+        );
         assert_eq!(s.len(), 2);
         assert!(!s.is_empty());
     }
@@ -100,7 +101,10 @@ mod tests {
             id: DocId(3),
             sentences: vec![
                 Sentence::new(vec![TokenId(0)], vec![PosTag::Noun]),
-                Sentence::new(vec![TokenId(1), TokenId(2)], vec![PosTag::Noun, PosTag::Verb]),
+                Sentence::new(
+                    vec![TokenId(1), TokenId(2)],
+                    vec![PosTag::Noun, PosTag::Verb],
+                ),
             ],
         };
         assert_eq!(d.token_count(), 3);

@@ -13,10 +13,9 @@ use crate::corpus::CorpusBuilder;
 use crate::doc::DocId;
 use crate::synth::topic::{AbstractGenerator, ConceptProfile, TaggedWord};
 use crate::synth::vocabgen::LexiconPools;
+use boe_rng::StdRng;
 use boe_textkit::pos::PosTag;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for the MSH-WSD-like generator.
 #[derive(Debug, Clone)]
@@ -212,11 +211,7 @@ mod tests {
                 .get(e.surface_text())
                 .expect("surface interned");
             for &(doc, _) in &e.snippets {
-                let found = d
-                    .corpus
-                    .doc(doc)
-                    .iter_tokens()
-                    .any(|(_, _, t, _)| t == id);
+                let found = d.corpus.doc(doc).iter_tokens().any(|(_, _, t, _)| t == id);
                 assert!(found, "entity {} missing in {doc}", e.id);
             }
         }

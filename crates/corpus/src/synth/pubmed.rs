@@ -6,9 +6,8 @@
 
 use crate::corpus::{Corpus, CorpusBuilder};
 use crate::synth::topic::{AbstractGenerator, ConceptProfile};
+use boe_rng::StdRng;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for [`PubMedGenerator`].
 #[derive(Debug, Clone, Copy)]
@@ -56,12 +55,17 @@ impl PubMedGenerator {
     /// Generate the corpus. Every abstract mixes a random subset of
     /// `profiles`.
     pub fn generate(&self, profiles: &[ConceptProfile]) -> Corpus {
-        assert!(!profiles.is_empty(), "at least one concept profile required");
+        assert!(
+            !profiles.is_empty(),
+            "at least one concept profile required"
+        );
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut builder = CorpusBuilder::new(self.gen.language());
         for _ in 0..self.config.n_abstracts {
             let k = rng
-                .gen_range(self.config.concepts_per_abstract.0..=self.config.concepts_per_abstract.1)
+                .gen_range(
+                    self.config.concepts_per_abstract.0..=self.config.concepts_per_abstract.1,
+                )
                 .min(profiles.len());
             // Sample k distinct profiles.
             let mut chosen: Vec<&ConceptProfile> = Vec::with_capacity(k);
@@ -75,11 +79,7 @@ impl PubMedGenerator {
             let sents = self
                 .gen
                 .abstract_for(&mut rng, &chosen, n_sents, self.config.mention_prob);
-            builder.add_tokenized(
-                sents
-                    .into_iter()
-                    .collect::<Vec<_>>(),
-            );
+            builder.add_tokenized(sents.into_iter().collect::<Vec<_>>());
         }
         builder.build()
     }

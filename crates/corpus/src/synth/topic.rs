@@ -8,10 +8,9 @@
 //! the contexts of a term are dominated by its concept's vocabulary.
 
 use crate::synth::vocabgen::LexiconPools;
+use boe_rng::StdRng;
 use boe_textkit::pos::PosTag;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// A `(word, tag)` pair; sentences are sequences of these.
 pub type TaggedWord = (String, PosTag);
@@ -257,7 +256,6 @@ impl AbstractGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn profile(lang: Language) -> ConceptProfile {
         let pools = LexiconPools::generate(lang);

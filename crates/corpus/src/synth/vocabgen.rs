@@ -10,15 +10,14 @@ use boe_textkit::Language;
 
 /// Anatomical/clinical roots shared by all three languages.
 pub const ROOTS: &[&str] = &[
-    "cardi", "hepat", "nephr", "neur", "derm", "gastr", "oste", "arthr", "pulmon", "ocul",
-    "corne", "retin", "vascul", "hemat", "onc", "cyt", "immun", "thyr", "gluc", "lip",
-    "angi", "bronch", "col", "crani", "cyst", "encephal", "enter", "fibr", "gingiv",
-    "gloss", "kerat", "lact", "laryng", "leuk", "mening", "myel", "nas", "necr", "odont",
-    "ophthalm", "oss", "ot", "phleb", "pneum", "proct", "psych", "rhin", "scler", "splen",
-    "stomat", "thromb", "tox", "trache", "ur", "uter", "ven", "vertebr", "aden", "chondr",
-    "cortic", "cutane", "digit", "dors", "febr", "gon", "hemorrh", "hypn", "lingu",
-    "mamm", "muscul", "ocell", "palat", "pector", "pharyng", "plasm", "sebac", "tend",
-    "vesic",
+    "cardi", "hepat", "nephr", "neur", "derm", "gastr", "oste", "arthr", "pulmon", "ocul", "corne",
+    "retin", "vascul", "hemat", "onc", "cyt", "immun", "thyr", "gluc", "lip", "angi", "bronch",
+    "col", "crani", "cyst", "encephal", "enter", "fibr", "gingiv", "gloss", "kerat", "lact",
+    "laryng", "leuk", "mening", "myel", "nas", "necr", "odont", "ophthalm", "oss", "ot", "phleb",
+    "pneum", "proct", "psych", "rhin", "scler", "splen", "stomat", "thromb", "tox", "trache", "ur",
+    "uter", "ven", "vertebr", "aden", "chondr", "cortic", "cutane", "digit", "dors", "febr", "gon",
+    "hemorrh", "hypn", "lingu", "mamm", "muscul", "ocell", "palat", "pector", "pharyng", "plasm",
+    "sebac", "tend", "vesic",
 ];
 
 /// A per-language pool of generated open-class words plus the closed-class
@@ -50,8 +49,20 @@ impl LexiconPools {
         let (noun_sufs, adj_sufs): (&[&str], &[&str]) = match lang {
             Language::English => (
                 &[
-                    "itis", "osis", "oma", "opathy", "ectomy", "ography", "emia", "ology",
-                    "oplasty", "ogram", "ocyte", "ogenesis", "oplasia", "osclerosis",
+                    "itis",
+                    "osis",
+                    "oma",
+                    "opathy",
+                    "ectomy",
+                    "ography",
+                    "emia",
+                    "ology",
+                    "oplasty",
+                    "ogram",
+                    "ocyte",
+                    "ogenesis",
+                    "oplasia",
+                    "osclerosis",
                 ],
                 &["al", "ic", "ous", "ar", "oid"],
             ),
@@ -64,8 +75,16 @@ impl LexiconPools {
             ),
             Language::Spanish => (
                 &[
-                    "itis", "osis", "oma", "opatía", "ectomía", "ografía", "emia", "ología",
-                    "oplastia", "ogénesis",
+                    "itis",
+                    "osis",
+                    "oma",
+                    "opatía",
+                    "ectomía",
+                    "ografía",
+                    "emia",
+                    "ología",
+                    "oplastia",
+                    "ogénesis",
                 ],
                 &["ico", "al", "ario", "oso"],
             ),
@@ -78,67 +97,167 @@ impl LexiconPools {
             .iter()
             .flat_map(|r| adj_sufs.iter().map(move |s| format!("{r}{s}")))
             .collect();
-        let (verbs, determiners, prepositions): (Vec<&'static str>, Vec<&'static str>, Vec<&'static str>) =
-            match lang {
-                Language::English => (
-                    vec![
-                        "causes", "shows", "affects", "induces", "requires", "involves",
-                        "suggests", "indicates", "reveals",
-                    ],
-                    vec!["the", "a", "this"],
-                    vec!["of", "in", "with", "for", "during"],
-                ),
-                Language::French => (
-                    vec!["provoque", "montre", "présente", "entraîne"],
-                    vec!["le", "la", "les", "une"],
-                    vec!["de", "dans", "avec", "pour"],
-                ),
-                Language::Spanish => (
-                    vec!["causa", "muestra", "presenta", "produce"],
-                    vec!["el", "la", "los", "una"],
-                    vec!["de", "en", "con", "para"],
-                ),
-            };
+        let (verbs, determiners, prepositions): (
+            Vec<&'static str>,
+            Vec<&'static str>,
+            Vec<&'static str>,
+        ) = match lang {
+            Language::English => (
+                vec![
+                    "causes",
+                    "shows",
+                    "affects",
+                    "induces",
+                    "requires",
+                    "involves",
+                    "suggests",
+                    "indicates",
+                    "reveals",
+                ],
+                vec!["the", "a", "this"],
+                vec!["of", "in", "with", "for", "during"],
+            ),
+            Language::French => (
+                vec!["provoque", "montre", "présente", "entraîne"],
+                vec!["le", "la", "les", "une"],
+                vec!["de", "dans", "avec", "pour"],
+            ),
+            Language::Spanish => (
+                vec!["causa", "muestra", "presenta", "produce"],
+                vec!["el", "la", "los", "una"],
+                vec!["de", "en", "con", "para"],
+            ),
+        };
         let (background_nouns, background_adjectives): (Vec<&'static str>, Vec<&'static str>) =
             match lang {
                 Language::English => (
                     vec![
-                        "patient", "patients", "treatment", "therapy", "diagnosis", "analysis",
-                        "outcome", "response", "lesion", "tissue", "sample", "syndrome",
-                        "disease", "disorder", "infection", "inflammation", "symptom", "cell",
-                        "membrane", "protein", "receptor", "gene", "expression", "function",
-                        "surgery", "procedure", "evaluation", "examination", "population",
+                        "patient",
+                        "patients",
+                        "treatment",
+                        "therapy",
+                        "diagnosis",
+                        "analysis",
+                        "outcome",
+                        "response",
+                        "lesion",
+                        "tissue",
+                        "sample",
+                        "syndrome",
+                        "disease",
+                        "disorder",
+                        "infection",
+                        "inflammation",
+                        "symptom",
+                        "cell",
+                        "membrane",
+                        "protein",
+                        "receptor",
+                        "gene",
+                        "expression",
+                        "function",
+                        "surgery",
+                        "procedure",
+                        "evaluation",
+                        "examination",
+                        "population",
                         "incidence",
                     ],
                     vec![
-                        "acute", "chronic", "severe", "mild", "clinical", "surgical", "common",
-                        "rare", "early", "late", "bilateral", "benign", "malignant", "human",
+                        "acute",
+                        "chronic",
+                        "severe",
+                        "mild",
+                        "clinical",
+                        "surgical",
+                        "common",
+                        "rare",
+                        "early",
+                        "late",
+                        "bilateral",
+                        "benign",
+                        "malignant",
+                        "human",
                     ],
                 ),
                 Language::French => (
                     vec![
-                        "patient", "patients", "traitement", "thérapie", "diagnostic",
-                        "analyse", "lésion", "tissu", "échantillon", "syndrome", "maladie",
-                        "infection", "inflammation", "symptôme", "cellule", "membrane",
-                        "protéine", "récepteur", "gène", "fonction", "chirurgie", "procédure",
-                        "évaluation", "incidence",
+                        "patient",
+                        "patients",
+                        "traitement",
+                        "thérapie",
+                        "diagnostic",
+                        "analyse",
+                        "lésion",
+                        "tissu",
+                        "échantillon",
+                        "syndrome",
+                        "maladie",
+                        "infection",
+                        "inflammation",
+                        "symptôme",
+                        "cellule",
+                        "membrane",
+                        "protéine",
+                        "récepteur",
+                        "gène",
+                        "fonction",
+                        "chirurgie",
+                        "procédure",
+                        "évaluation",
+                        "incidence",
                     ],
                     vec![
-                        "aigu", "chronique", "sévère", "clinique", "chirurgical", "rare",
-                        "bénin", "humain", "précoce", "tardif",
+                        "aigu",
+                        "chronique",
+                        "sévère",
+                        "clinique",
+                        "chirurgical",
+                        "rare",
+                        "bénin",
+                        "humain",
+                        "précoce",
+                        "tardif",
                     ],
                 ),
                 Language::Spanish => (
                     vec![
-                        "paciente", "pacientes", "tratamiento", "terapia", "diagnóstico",
-                        "análisis", "lesión", "tejido", "muestra", "síndrome", "enfermedad",
-                        "infección", "inflamación", "síntoma", "célula", "membrana",
-                        "proteína", "receptor", "gen", "función", "cirugía", "procedimiento",
-                        "evaluación", "incidencia",
+                        "paciente",
+                        "pacientes",
+                        "tratamiento",
+                        "terapia",
+                        "diagnóstico",
+                        "análisis",
+                        "lesión",
+                        "tejido",
+                        "muestra",
+                        "síndrome",
+                        "enfermedad",
+                        "infección",
+                        "inflamación",
+                        "síntoma",
+                        "célula",
+                        "membrana",
+                        "proteína",
+                        "receptor",
+                        "gen",
+                        "función",
+                        "cirugía",
+                        "procedimiento",
+                        "evaluación",
+                        "incidencia",
                     ],
                     vec![
-                        "agudo", "crónico", "severo", "clínico", "quirúrgico", "raro",
-                        "benigno", "humano", "precoz", "tardío",
+                        "agudo",
+                        "crónico",
+                        "severo",
+                        "clínico",
+                        "quirúrgico",
+                        "raro",
+                        "benigno",
+                        "humano",
+                        "precoz",
+                        "tardío",
                     ],
                 ),
             };

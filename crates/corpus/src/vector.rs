@@ -36,8 +36,7 @@ impl SparseVector {
         for (d, v) in pairs {
             *acc.entry(d).or_insert(0.0) += v;
         }
-        let mut entries: Vec<(u32, f64)> =
-            acc.into_iter().filter(|(_, v)| *v != 0.0).collect();
+        let mut entries: Vec<(u32, f64)> = acc.into_iter().filter(|(_, v)| *v != 0.0).collect();
         entries.sort_unstable_by_key(|(d, _)| *d);
         SparseVector { entries }
     }
@@ -92,11 +91,7 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|(_, v)| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
     }
 
     /// Sum of values (L1 mass for non-negative vectors).

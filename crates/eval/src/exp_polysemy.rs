@@ -15,10 +15,9 @@ use boe_corpus::synth::vocabgen::LexiconPools;
 use boe_corpus::Corpus;
 use boe_ml::dataset::Dataset;
 use boe_ml::eval::{cross_validate, Confusion};
+use boe_rng::StdRng;
 use boe_textkit::pos::PosTag;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Experiment parameters.
 #[derive(Debug, Clone)]
@@ -178,9 +177,11 @@ pub fn run_subset(config: &PolysemyExpConfig, subset: FeatureSubset) -> Vec<Mode
         .iter()
         .map(|&model| {
             let confusion = match model {
-                PolysemyModel::LogReg => {
-                    cross_validate(&scaled, config.folds, boe_ml::logreg::LogisticRegression::new)
-                }
+                PolysemyModel::LogReg => cross_validate(
+                    &scaled,
+                    config.folds,
+                    boe_ml::logreg::LogisticRegression::new,
+                ),
                 PolysemyModel::NaiveBayes => {
                     cross_validate(&scaled, config.folds, boe_ml::naive_bayes::GaussianNb::new)
                 }
@@ -216,10 +217,7 @@ pub fn run(config: &PolysemyExpConfig) -> Vec<ModelResult> {
 
 /// Best F-measure across models.
 pub fn best_f1(results: &[ModelResult]) -> f64 {
-    results
-        .iter()
-        .map(|r| r.confusion.f1())
-        .fold(0.0, f64::max)
+    results.iter().map(|r| r.confusion.f1()).fold(0.0, f64::max)
 }
 
 /// Render per-model P/R/F1.

@@ -11,9 +11,8 @@ use crate::table::{f3, Table};
 use boe_core::relation::{extract_relation, RelationType};
 use boe_corpus::corpus::CorpusBuilder;
 use boe_corpus::Corpus;
+use boe_rng::StdRng;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Experiment parameters.
 #[derive(Debug, Clone, Copy)]
@@ -76,7 +75,7 @@ pub fn generate(config: &RelationExpConfig) -> (Corpus, Vec<(String, String, Rel
                 // The first sentence always carries an on-type verb; later
                 // sentences may use a distractor from another family.
                 let verb = if s > 0 && rng.gen_bool(config.distractor_prob) {
-                    let other = TYPES[(ti + 1 + rng.gen_range(0..3)) % 4];
+                    let other = TYPES[(ti + 1 + rng.gen_range(0usize..3)) % 4];
                     verbs_of(other)[rng.gen_range(0..verbs_of(other).len())]
                 } else {
                     gold_verbs[rng.gen_range(0..gold_verbs.len())]

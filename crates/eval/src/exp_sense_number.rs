@@ -9,10 +9,10 @@
 
 use crate::table::{pct, Table};
 use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
+use boe_core::senses::{build_representation, Representation};
 use boe_corpus::context::{ContextScope, StemMap};
 use boe_corpus::synth::mshwsd::{MshWsdConfig, MshWsdDataset};
 use boe_corpus::SparseVector;
-use boe_core::senses::{build_representation, Representation};
 use boe_textkit::Language;
 
 /// Experiment parameters.
@@ -165,7 +165,11 @@ pub fn run(config: &SenseNumberConfig) -> SenseNumberResult {
                     };
                     for (k, sol) in &solutions {
                         let s = index.score(sol, &unit);
-                        let better = if index.maximize() { s > best_s } else { s < best_s };
+                        let better = if index.maximize() {
+                            s > best_s
+                        } else {
+                            s < best_s
+                        };
                         if better {
                             best_s = s;
                             best_k = *k;
@@ -348,7 +352,8 @@ mod tests {
             indexes: vec![InternalIndex::Ek],
             seed: 3,
         };
-        let (purity, nmi, ari) = clustering_quality(&cfg, Algorithm::Direct, Representation::BagOfWords);
+        let (purity, nmi, ari) =
+            clustering_quality(&cfg, Algorithm::Direct, Representation::BagOfWords);
         assert!(purity > 0.85, "purity {purity}");
         assert!(nmi > 0.7, "nmi {nmi}");
         assert!(ari > 0.7, "ari {ari}");

@@ -61,7 +61,15 @@ pub fn run(umls_divisor: usize) -> (Table1Block, Table1Block) {
 
 /// Render both blocks in the paper's layout.
 pub fn render(umls: &Table1Block, mesh: &Table1Block) -> String {
-    let mut t = Table::new(&["# senses k", "UMLS EN", "UMLS FR", "UMLS ES", "MeSH EN", "MeSH FR", "MeSH ES"]);
+    let mut t = Table::new(&[
+        "# senses k",
+        "UMLS EN",
+        "UMLS FR",
+        "UMLS ES",
+        "MeSH EN",
+        "MeSH FR",
+        "MeSH ES",
+    ]);
     let k_names = ["2", "3", "4", "5+"];
     for (ki, kname) in k_names.iter().enumerate() {
         t.row(vec![

@@ -10,8 +10,7 @@
 use crate::table::{f3, Table};
 use boe_cluster::{Algorithm, InternalIndex};
 use boe_corpus::SparseVector;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boe_rng::StdRng;
 
 /// Fixture parameters.
 #[derive(Debug, Clone, Copy)]
@@ -101,7 +100,11 @@ pub fn render(result: &Table2Result) -> String {
             f3(scores[2]),
             f3(scores[3]),
             chosen.to_string(),
-            if *chosen == result.gold_k { "✓".into() } else { String::new() },
+            if *chosen == result.gold_k {
+                "✓".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     format!(

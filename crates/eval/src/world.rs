@@ -19,10 +19,9 @@ use boe_corpus::synth::vocabgen::LexiconPools;
 use boe_corpus::Corpus;
 use boe_ontology::synth::mesh::{MeshConfig, MeshGenerator};
 use boe_ontology::{query, ConceptId, Ontology, OntologyBuilder};
+use boe_rng::StdRng;
 use boe_textkit::pos::PosTag;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// World-generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -111,7 +110,10 @@ pub struct World {
 impl World {
     /// Generate a world under `config`.
     pub fn generate(config: &WorldConfig) -> World {
-        assert!(config.n_holdout < config.n_concepts / 2, "holdout too large");
+        assert!(
+            config.n_holdout < config.n_concepts / 2,
+            "holdout too large"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let (full, parts) = MeshGenerator::new(
             config.lang,
@@ -215,12 +217,8 @@ impl World {
         let mut builder = CorpusBuilder::new(config.lang);
         for c in full.concepts() {
             let profile = &profiles[c.id.index()];
-            let relatives: Vec<ConceptId> = c
-                .parents
-                .iter()
-                .chain(c.children.iter())
-                .copied()
-                .collect();
+            let relatives: Vec<ConceptId> =
+                c.parents.iter().chain(c.children.iter()).copied().collect();
             for _ in 0..config.abstracts_per_concept {
                 let mut sentences = Vec::new();
                 let n_sents = rng.gen_range(3..=6);
@@ -264,8 +262,7 @@ impl World {
                 // sentences in *this* concept's topic context.
                 if let Some(hosted) = ambiguous_by_concept.get(&c.id.index()) {
                     for surface in hosted {
-                        let mention: Vec<TaggedWord> =
-                            vec![((*surface).to_owned(), PosTag::Noun)];
+                        let mention: Vec<TaggedWord> = vec![((*surface).to_owned(), PosTag::Noun)];
                         for _ in 0..2 {
                             sentences.push(generator.sentence(&mut rng, profile, Some(&mention)));
                         }
@@ -400,9 +397,8 @@ mod tests {
         for h in &w.holdout {
             let fathers = query::fathers(&w.full_ontology, h.concept);
             assert!(!fathers.is_empty());
-            let father_term = boe_textkit::normalize::match_key(
-                &w.full_ontology.concept(fathers[0]).preferred,
-            );
+            let father_term =
+                boe_textkit::normalize::match_key(&w.full_ontology.concept(fathers[0]).preferred);
             assert!(h.gold_terms.contains(&father_term), "{}", h.surface);
         }
     }
@@ -525,8 +521,10 @@ mod tests {
         // concept profiles are topically distinct, so a 2-way clustering
         // should have much higher ISIM than a 1-way.
         use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
-        let unit: Vec<boe_corpus::SparseVector> =
-            ctxs.iter().map(boe_corpus::SparseVector::normalized).collect();
+        let unit: Vec<boe_corpus::SparseVector> = ctxs
+            .iter()
+            .map(boe_corpus::SparseVector::normalized)
+            .collect();
         let two = Algorithm::Direct.cluster(&ctxs, 2, 1);
         let one = ClusterSolution::new(vec![0; ctxs.len()], 1);
         let ak2 = InternalIndex::Ak.score(&two, &unit);

@@ -37,8 +37,7 @@ pub fn betweenness(g: &Graph) -> Vec<f64> {
         let mut delta = vec![0.0_f64; n];
         while let Some(w) = stack.pop() {
             for &v in &preds[w.index()] {
-                delta[v.index()] +=
-                    sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
+                delta[v.index()] += sigma[v.index()] / sigma[w.index()] * (1.0 + delta[w.index()]);
             }
             if w != s {
                 cb[w.index()] += delta[w.index()];

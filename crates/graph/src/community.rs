@@ -14,8 +14,7 @@ use crate::graph::NodeId;
 pub fn label_propagation(g: &Graph, max_rounds: usize) -> Vec<u32> {
     let n = g.node_count();
     let mut labels: Vec<u32> = (0..n as u32).collect();
-    let mut weight_by_label: std::collections::HashMap<u32, f64> =
-        std::collections::HashMap::new();
+    let mut weight_by_label: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
     for _ in 0..max_rounds {
         let mut changed = false;
         for v in g.nodes() {

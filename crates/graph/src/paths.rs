@@ -30,11 +30,7 @@ pub fn distance(g: &Graph, a: NodeId, b: NodeId) -> Option<u32> {
 /// Eccentricity of a node within its component (max distance to any
 /// reachable node).
 pub fn eccentricity(g: &Graph, v: NodeId) -> u32 {
-    bfs_distances(g, v)
-        .into_iter()
-        .flatten()
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, v).into_iter().flatten().max().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -1,4 +1,7 @@
 //! Property tests for the graph substrate.
+//!
+//! Driven by the workspace's own deterministic PRNG (no external
+//! dependencies); each test sweeps seeded random graphs.
 
 use boe_graph::centrality::{betweenness, closeness};
 use boe_graph::community::{community_count, label_propagation, modularity};
@@ -8,89 +11,117 @@ use boe_graph::metrics::{density, local_clustering};
 use boe_graph::pagerank::{pagerank, PageRankParams};
 use boe_graph::paths::bfs_distances;
 use boe_graph::{Graph, NodeId};
-use proptest::prelude::*;
+use boe_rng::StdRng;
 
-fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..14, proptest::collection::vec((0u32..14, 0u32..14, 0.1f64..3.0), 0..40)).prop_map(
-        |(n, edges)| {
-            let mut g = Graph::with_nodes(n);
-            for (a, b, w) in edges {
-                let (a, b) = (a % n as u32, b % n as u32);
-                if a != b {
-                    g.add_edge(NodeId(a), NodeId(b), w);
-                }
-            }
-            g
-        },
-    )
+const CASES: usize = 80;
+
+fn rand_graph(rng: &mut StdRng) -> Graph {
+    let n = rng.gen_range(2usize..14);
+    let mut g = Graph::with_nodes(n);
+    let edges = rng.gen_range(0usize..40);
+    for _ in 0..edges {
+        let a = rng.gen_range(0u32..14) % n as u32;
+        let b = rng.gen_range(0u32..14) % n as u32;
+        let w = 0.1 + rng.gen::<f64>() * 2.9;
+        if a != b {
+            g.add_edge(NodeId(a), NodeId(b), w);
+        }
+    }
+    g
 }
 
-proptest! {
-    #[test]
-    fn pagerank_is_a_distribution(g in graph_strategy()) {
+#[test]
+fn pagerank_is_a_distribution() {
+    let mut rng = StdRng::seed_from_u64(20);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
         let r = pagerank(&g, PageRankParams::default());
-        prop_assert_eq!(r.len(), g.node_count());
+        assert_eq!(r.len(), g.node_count());
         let sum: f64 = r.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
-        prop_assert!(r.iter().all(|&x| x >= 0.0));
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(r.iter().all(|&x| x >= 0.0));
     }
+}
 
-    #[test]
-    fn components_agree_with_bfs(g in graph_strategy()) {
+#[test]
+fn components_agree_with_bfs() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
         let comps = connected_components(&g);
         for v in g.nodes() {
             let dists = bfs_distances(&g, v);
             for u in g.nodes() {
                 let same_component = comps.labels[v.index()] == comps.labels[u.index()];
-                prop_assert_eq!(dists[u.index()].is_some(), same_component);
+                assert_eq!(dists[u.index()].is_some(), same_component);
             }
         }
-        prop_assert_eq!(comps.sizes().iter().sum::<usize>(), g.node_count());
+        assert_eq!(comps.sizes().iter().sum::<usize>(), g.node_count());
     }
+}
 
-    #[test]
-    fn core_numbers_bounded_by_degree(g in graph_strategy()) {
+#[test]
+fn core_numbers_bounded_by_degree() {
+    let mut rng = StdRng::seed_from_u64(22);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
         let cores = core_numbers(&g);
         for v in g.nodes() {
-            prop_assert!(cores[v.index()] as usize <= g.degree(v));
+            assert!(cores[v.index()] as usize <= g.degree(v));
         }
     }
+}
 
-    #[test]
-    fn centralities_are_nonnegative(g in graph_strategy()) {
-        prop_assert!(betweenness(&g).iter().all(|&x| x >= -1e-9));
+#[test]
+fn centralities_are_nonnegative() {
+    let mut rng = StdRng::seed_from_u64(23);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
+        assert!(betweenness(&g).iter().all(|&x| x >= -1e-9));
         let cc = closeness(&g);
-        prop_assert!(cc.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+        assert!(cc.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
     }
+}
 
-    #[test]
-    fn clustering_and_density_in_unit_interval(g in graph_strategy()) {
-        prop_assert!((0.0..=1.0).contains(&density(&g)));
+#[test]
+fn clustering_and_density_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(24);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
+        assert!((0.0..=1.0).contains(&density(&g)));
         for v in g.nodes() {
             let c = local_clustering(&g, v);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            assert!((0.0..=1.0 + 1e-12).contains(&c));
         }
     }
+}
 
-    #[test]
-    fn label_propagation_yields_valid_partition(g in graph_strategy()) {
+#[test]
+fn label_propagation_yields_valid_partition() {
+    let mut rng = StdRng::seed_from_u64(25);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
         let labels = label_propagation(&g, 30);
-        prop_assert_eq!(labels.len(), g.node_count());
+        assert_eq!(labels.len(), g.node_count());
         let k = community_count(&labels);
-        prop_assert!(k >= 1 && k <= g.node_count());
+        assert!(k >= 1 && k <= g.node_count());
         // Modularity is bounded in [-1, 1].
         let q = modularity(&g, &labels);
-        prop_assert!((-1.0..=1.0).contains(&q), "q = {q}");
+        assert!((-1.0..=1.0).contains(&q), "q = {q}");
     }
+}
 
-    #[test]
-    fn induced_subgraph_preserves_edge_weights(g in graph_strategy()) {
+#[test]
+fn induced_subgraph_preserves_edge_weights() {
+    let mut rng = StdRng::seed_from_u64(26);
+    for _ in 0..CASES {
+        let g = rand_graph(&mut rng);
         let keep: Vec<NodeId> = g.nodes().filter(|n| n.0 % 2 == 0).collect();
         let (sub, order) = g.induced_subgraph(&keep);
-        prop_assert_eq!(sub.node_count(), keep.len());
+        assert_eq!(sub.node_count(), keep.len());
         for (new_a, &old_a) in order.iter().enumerate() {
             for (new_b, &old_b) in order.iter().enumerate().skip(new_a + 1) {
-                prop_assert_eq!(
+                assert_eq!(
                     sub.edge_weight(NodeId(new_a as u32), NodeId(new_b as u32)),
                     g.edge_weight(old_a, old_b)
                 );

@@ -4,8 +4,7 @@
 use crate::dataset::Dataset;
 use crate::model::Classifier;
 use crate::tree::DecisionTree;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boe_rng::StdRng;
 
 /// Random-forest classifier.
 #[derive(Debug, Clone)]
@@ -76,11 +75,7 @@ impl Classifier for RandomForest {
         if self.trees.is_empty() {
             return 0.0;
         }
-        self.trees
-            .iter()
-            .map(|t| t.predict_proba(row))
-            .sum::<f64>()
-            / self.trees.len() as f64
+        self.trees.iter().map(|t| t.predict_proba(row)).sum::<f64>() / self.trees.len() as f64
     }
 
     fn name(&self) -> &'static str {
@@ -112,12 +107,8 @@ mod tests {
         let mut f = RandomForest::new();
         f.fit(&d);
         let preds = predict_all(&f, &d);
-        let acc = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, l)| p == l)
-            .count() as f64
-            / d.len() as f64;
+        let acc =
+            preds.iter().zip(d.labels()).filter(|(p, l)| p == l).count() as f64 / d.len() as f64;
         assert!(acc > 0.9, "accuracy {acc}");
         assert_eq!(f.tree_count(), 30);
     }

@@ -120,11 +120,7 @@ mod tests {
         let mut m = LogisticRegression::new();
         m.fit(&d);
         let preds = predict_all(&m, &d);
-        let correct = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(d.labels()).filter(|(p, l)| p == l).count();
         assert!(correct as f64 / d.len() as f64 > 0.95, "{correct}/100");
     }
 

@@ -26,7 +26,9 @@ pub trait Classifier {
 
 /// Predict labels for every row of a dataset.
 pub fn predict_all<C: Classifier + ?Sized>(model: &C, data: &Dataset) -> Vec<bool> {
-    (0..data.len()).map(|i| model.predict(data.row(i))).collect()
+    (0..data.len())
+        .map(|i| model.predict(data.row(i)))
+        .collect()
 }
 
 #[cfg(test)]

@@ -149,7 +149,12 @@ mod tests {
     #[test]
     fn constant_feature_does_not_nan() {
         let d = Dataset::new(
-            vec![vec![1.0, 7.0], vec![2.0, 7.0], vec![5.0, 7.0], vec![6.0, 7.0]],
+            vec![
+                vec![1.0, 7.0],
+                vec![2.0, 7.0],
+                vec![5.0, 7.0],
+                vec![6.0, 7.0],
+            ],
             vec![false, false, true, true],
         );
         let mut m = GaussianNb::new();

@@ -3,8 +3,7 @@
 
 use crate::dataset::Dataset;
 use crate::model::Classifier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use boe_rng::StdRng;
 
 /// Linear SVM classifier.
 #[derive(Debug, Clone)]

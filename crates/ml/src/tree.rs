@@ -54,7 +54,11 @@ impl DecisionTree {
 
     /// New tree with forest-style hyperparameters (depth cap, feature
     /// subsampling and a per-tree rotation offset).
-    pub fn with_params(max_depth: usize, max_features: Option<usize>, feature_offset: usize) -> Self {
+    pub fn with_params(
+        max_depth: usize,
+        max_features: Option<usize>,
+        feature_offset: usize,
+    ) -> Self {
         DecisionTree {
             max_depth,
             max_features,

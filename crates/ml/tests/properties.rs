@@ -1,4 +1,7 @@
 //! Property tests for the ML substrate.
+//!
+//! Driven by the workspace's own deterministic PRNG (no external
+//! dependencies); each test sweeps seeded random datasets.
 
 use boe_ml::boost::AdaBoost;
 use boe_ml::dataset::Dataset;
@@ -11,19 +14,18 @@ use boe_ml::naive_bayes::GaussianNb;
 use boe_ml::scale::StandardScaler;
 use boe_ml::svm::LinearSvm;
 use boe_ml::tree::DecisionTree;
-use proptest::prelude::*;
+use boe_rng::StdRng;
 
-fn dataset_strategy() -> impl Strategy<Value = Dataset> {
-    (2usize..5, 4usize..30).prop_flat_map(|(d, n)| {
-        (
-            proptest::collection::vec(
-                proptest::collection::vec(-5.0f64..5.0, d..=d),
-                n..=n,
-            ),
-            proptest::collection::vec(any::<bool>(), n..=n),
-        )
-            .prop_map(|(rows, labels)| Dataset::new(rows, labels))
-    })
+const CASES: usize = 24;
+
+fn rand_dataset(rng: &mut StdRng) -> Dataset {
+    let d = rng.gen_range(2usize..5);
+    let n = rng.gen_range(4usize..30);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect())
+        .collect();
+    let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    Dataset::new(rows, labels)
 }
 
 fn all_models() -> Vec<Box<dyn Classifier>> {
@@ -38,28 +40,32 @@ fn all_models() -> Vec<Box<dyn Classifier>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn probabilities_are_probabilities(data in dataset_strategy()) {
+#[test]
+fn probabilities_are_probabilities() {
+    let mut rng = StdRng::seed_from_u64(30);
+    for _ in 0..CASES {
+        let data = rand_dataset(&mut rng);
         for mut model in all_models() {
             model.fit(&data);
             for i in 0..data.len() {
                 let p = model.predict_proba(data.row(i));
-                prop_assert!((0.0..=1.0).contains(&p), "{}: {p}", model.name());
-                prop_assert!(p.is_finite(), "{}", model.name());
+                assert!((0.0..=1.0).contains(&p), "{}: {p}", model.name());
+                assert!(p.is_finite(), "{}", model.name());
             }
         }
     }
+}
 
-    #[test]
-    fn training_is_deterministic(data in dataset_strategy()) {
+#[test]
+fn training_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..CASES {
+        let data = rand_dataset(&mut rng);
         for (mut a, mut b) in all_models().into_iter().zip(all_models()) {
             a.fit(&data);
             b.fit(&data);
             for i in 0..data.len() {
-                prop_assert_eq!(
+                assert_eq!(
                     a.predict(data.row(i)),
                     b.predict(data.row(i)),
                     "{} differs on row {}",
@@ -69,24 +75,34 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn scaler_round_trips_statistics(data in dataset_strategy()) {
+#[test]
+fn scaler_round_trips_statistics() {
+    let mut rng = StdRng::seed_from_u64(32);
+    for _ in 0..CASES {
+        let data = rand_dataset(&mut rng);
         let sc = StandardScaler::fit(&data);
         let t = sc.transform(&data);
-        prop_assert_eq!(t.len(), data.len());
-        prop_assert_eq!(t.n_features(), data.n_features());
+        assert_eq!(t.len(), data.len());
+        assert_eq!(t.n_features(), data.n_features());
         for f in 0..t.n_features() {
             let mean: f64 = t.rows().iter().map(|r| r[f]).sum::<f64>() / t.len() as f64;
-            prop_assert!(mean.abs() < 1e-9, "feature {f} mean {mean}");
+            assert!(mean.abs() < 1e-9, "feature {f} mean {mean}");
         }
     }
+}
 
-    #[test]
-    fn stratified_folds_partition_everything(labels in proptest::collection::vec(any::<bool>(), 4..60), k in 2usize..6) {
+#[test]
+fn stratified_folds_partition_everything() {
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4usize..60);
+        let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let k = rng.gen_range(2usize..6);
         let folds = stratified_folds(&labels, k);
-        prop_assert_eq!(folds.len(), labels.len());
-        prop_assert!(folds.iter().all(|&f| f < k));
+        assert_eq!(folds.len(), labels.len());
+        assert!(folds.iter().all(|&f| f < k));
         // Class balance: positives per fold differ by at most 1.
         let mut pos = vec![0usize; k];
         for (&l, &f) in labels.iter().zip(&folds) {
@@ -94,12 +110,21 @@ proptest! {
                 pos[f] += 1;
             }
         }
-        let (mn, mx) = (pos.iter().min().copied().unwrap_or(0), pos.iter().max().copied().unwrap_or(0));
-        prop_assert!(mx - mn <= 1, "{pos:?}");
+        let (mn, mx) = (
+            pos.iter().min().copied().unwrap_or(0),
+            pos.iter().max().copied().unwrap_or(0),
+        );
+        assert!(mx - mn <= 1, "{pos:?}");
     }
+}
 
-    #[test]
-    fn confusion_metrics_are_bounded(gold in proptest::collection::vec(any::<bool>(), 1..50), seed in 0u64..50) {
+#[test]
+fn confusion_metrics_are_bounded() {
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..50);
+        let gold: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let seed = rng.gen_range(0u64..50);
         // Derive predictions deterministically from the seed.
         let pred: Vec<bool> = gold
             .iter()
@@ -108,8 +133,8 @@ proptest! {
             .collect();
         let c = Confusion::from_predictions(&gold, &pred);
         for m in [c.accuracy(), c.precision(), c.recall(), c.f1()] {
-            prop_assert!((0.0..=1.0).contains(&m));
+            assert!((0.0..=1.0).contains(&m));
         }
-        prop_assert_eq!(c.tp + c.fp + c.tn + c.fn_, gold.len());
+        assert_eq!(c.tp + c.fp + c.tn + c.fn_, gold.len());
     }
 }

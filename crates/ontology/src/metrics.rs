@@ -129,7 +129,11 @@ mod tests {
         assert_eq!(m.concepts, 300);
         assert_eq!(m.roots, 1);
         assert!(m.max_depth >= 3, "depth {}", m.max_depth);
-        assert!((2.0..=5.0).contains(&m.mean_branching), "{}", m.mean_branching);
+        assert!(
+            (2.0..=5.0).contains(&m.mean_branching),
+            "{}",
+            m.mean_branching
+        );
         assert!(m.terms_per_concept > 1.4, "{}", m.terms_per_concept);
     }
 

@@ -370,7 +370,10 @@ mod tests {
         let mut b = OntologyBuilder::new("t", Language::English);
         let x = b.add_concept("x", vec![]);
         b.add_is_a(x, ConceptId(99));
-        assert_eq!(b.build().unwrap_err(), BuildError::UnknownConcept(ConceptId(99)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::UnknownConcept(ConceptId(99))
+        );
     }
 
     #[test]

@@ -9,9 +9,8 @@
 
 use crate::model::{ConceptId, Ontology, OntologyBuilder};
 use boe_corpus::synth::vocabgen::LexiconPools;
+use boe_rng::StdRng;
 use boe_textkit::Language;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 /// Configuration for [`MeshGenerator`].
@@ -272,7 +271,11 @@ mod tests {
     #[test]
     fn synonyms_present_at_expected_rate() {
         let (o, _) = generate(400, 5);
-        let with_syn = o.concepts().iter().filter(|c| !c.synonyms.is_empty()).count();
+        let with_syn = o
+            .concepts()
+            .iter()
+            .filter(|c| !c.synonyms.is_empty())
+            .count();
         let rate = with_syn as f64 / o.len() as f64;
         // synonyms = 1.0 ⇒ P(at least one of 2 slots) = 0.75.
         assert!((0.6..=0.9).contains(&rate), "synonym rate {rate}");

@@ -196,12 +196,12 @@ mod tests {
         let tags = [Determiner, Adjective, Adjective, Noun];
         let ms = set.matches(&tags);
         // A A N at 1, A N at 2, N at 3.
-        assert!(ms
-            .iter()
-            .any(|m| m.start == 1 && m.len == 3 && set.patterns()[m.pattern].tags == [Adjective, Adjective, Noun]));
-        assert!(ms
-            .iter()
-            .any(|m| m.start == 2 && m.len == 2 && set.patterns()[m.pattern].tags == [Adjective, Noun]));
+        assert!(ms.iter().any(|m| m.start == 1
+            && m.len == 3
+            && set.patterns()[m.pattern].tags == [Adjective, Adjective, Noun]));
+        assert!(ms.iter().any(|m| m.start == 2
+            && m.len == 2
+            && set.patterns()[m.pattern].tags == [Adjective, Noun]));
         assert!(ms.iter().any(|m| m.start == 3 && m.len == 1));
     }
 

@@ -61,168 +61,551 @@ use PosTag::*;
 
 const EN_WORDS: &[(&str, PosTag)] = &[
     // Determiners.
-    ("the", Determiner), ("a", Determiner), ("an", Determiner), ("this", Determiner),
-    ("that", Determiner), ("these", Determiner), ("those", Determiner), ("each", Determiner),
-    ("every", Determiner), ("some", Determiner), ("any", Determiner), ("no", Determiner),
-    ("all", Determiner), ("both", Determiner), ("several", Determiner), ("most", Determiner),
+    ("the", Determiner),
+    ("a", Determiner),
+    ("an", Determiner),
+    ("this", Determiner),
+    ("that", Determiner),
+    ("these", Determiner),
+    ("those", Determiner),
+    ("each", Determiner),
+    ("every", Determiner),
+    ("some", Determiner),
+    ("any", Determiner),
+    ("no", Determiner),
+    ("all", Determiner),
+    ("both", Determiner),
+    ("several", Determiner),
+    ("most", Determiner),
     // Prepositions.
-    ("of", Preposition), ("in", Preposition), ("on", Preposition), ("for", Preposition),
-    ("with", Preposition), ("by", Preposition), ("to", Preposition), ("from", Preposition),
-    ("at", Preposition), ("into", Preposition), ("during", Preposition), ("after", Preposition),
-    ("before", Preposition), ("between", Preposition), ("under", Preposition),
-    ("among", Preposition), ("within", Preposition), ("without", Preposition),
-    ("through", Preposition), ("against", Preposition), ("via", Preposition),
+    ("of", Preposition),
+    ("in", Preposition),
+    ("on", Preposition),
+    ("for", Preposition),
+    ("with", Preposition),
+    ("by", Preposition),
+    ("to", Preposition),
+    ("from", Preposition),
+    ("at", Preposition),
+    ("into", Preposition),
+    ("during", Preposition),
+    ("after", Preposition),
+    ("before", Preposition),
+    ("between", Preposition),
+    ("under", Preposition),
+    ("among", Preposition),
+    ("within", Preposition),
+    ("without", Preposition),
+    ("through", Preposition),
+    ("against", Preposition),
+    ("via", Preposition),
     // Conjunctions.
-    ("and", Conjunction), ("or", Conjunction), ("but", Conjunction), ("because", Conjunction),
-    ("although", Conjunction), ("whereas", Conjunction), ("while", Conjunction),
-    ("if", Conjunction), ("than", Conjunction),
+    ("and", Conjunction),
+    ("or", Conjunction),
+    ("but", Conjunction),
+    ("because", Conjunction),
+    ("although", Conjunction),
+    ("whereas", Conjunction),
+    ("while", Conjunction),
+    ("if", Conjunction),
+    ("than", Conjunction),
     // Pronouns.
-    ("it", Pronoun), ("its", Pronoun), ("they", Pronoun), ("their", Pronoun), ("we", Pronoun),
-    ("our", Pronoun), ("he", Pronoun), ("she", Pronoun), ("his", Pronoun), ("her", Pronoun),
-    ("which", Pronoun), ("who", Pronoun), ("whom", Pronoun), ("i", Pronoun), ("you", Pronoun),
+    ("it", Pronoun),
+    ("its", Pronoun),
+    ("they", Pronoun),
+    ("their", Pronoun),
+    ("we", Pronoun),
+    ("our", Pronoun),
+    ("he", Pronoun),
+    ("she", Pronoun),
+    ("his", Pronoun),
+    ("her", Pronoun),
+    ("which", Pronoun),
+    ("who", Pronoun),
+    ("whom", Pronoun),
+    ("i", Pronoun),
+    ("you", Pronoun),
     // Common verbs (incl. auxiliaries and abstract-register verbs).
-    ("is", Verb), ("are", Verb), ("was", Verb), ("were", Verb), ("be", Verb), ("been", Verb),
-    ("being", Verb), ("has", Verb), ("have", Verb), ("had", Verb), ("do", Verb), ("does", Verb),
-    ("did", Verb), ("can", Verb), ("could", Verb), ("may", Verb), ("might", Verb),
-    ("will", Verb), ("would", Verb), ("should", Verb), ("must", Verb), ("show", Verb),
-    ("shows", Verb), ("showed", Verb), ("shown", Verb), ("suggest", Verb), ("suggests", Verb),
-    ("indicate", Verb), ("indicates", Verb), ("cause", Verb), ("causes", Verb),
-    ("caused", Verb), ("induce", Verb), ("induces", Verb), ("induced", Verb),
-    ("treat", Verb), ("treats", Verb), ("treated", Verb), ("heal", Verb), ("heals", Verb),
-    ("healed", Verb), ("cure", Verb), ("cures", Verb), ("cured", Verb),
-    ("affect", Verb), ("affects", Verb),
-    ("affected", Verb), ("reveal", Verb), ("reveals", Verb), ("remains", Verb),
-    ("involve", Verb), ("involves", Verb), ("involved", Verb), ("require", Verb),
-    ("requires", Verb), ("required", Verb), ("observed", Verb), ("reported", Verb),
-    ("associated", Verb), ("compared", Verb), ("performed", Verb), ("used", Verb),
-    ("using", Verb), ("including", Preposition), ("results", Verb), ("result", Verb),
-    ("presents", Verb), ("present", Verb), ("occurs", Verb), ("occur", Verb),
+    ("is", Verb),
+    ("are", Verb),
+    ("was", Verb),
+    ("were", Verb),
+    ("be", Verb),
+    ("been", Verb),
+    ("being", Verb),
+    ("has", Verb),
+    ("have", Verb),
+    ("had", Verb),
+    ("do", Verb),
+    ("does", Verb),
+    ("did", Verb),
+    ("can", Verb),
+    ("could", Verb),
+    ("may", Verb),
+    ("might", Verb),
+    ("will", Verb),
+    ("would", Verb),
+    ("should", Verb),
+    ("must", Verb),
+    ("show", Verb),
+    ("shows", Verb),
+    ("showed", Verb),
+    ("shown", Verb),
+    ("suggest", Verb),
+    ("suggests", Verb),
+    ("indicate", Verb),
+    ("indicates", Verb),
+    ("cause", Verb),
+    ("causes", Verb),
+    ("caused", Verb),
+    ("induce", Verb),
+    ("induces", Verb),
+    ("induced", Verb),
+    ("treat", Verb),
+    ("treats", Verb),
+    ("treated", Verb),
+    ("heal", Verb),
+    ("heals", Verb),
+    ("healed", Verb),
+    ("cure", Verb),
+    ("cures", Verb),
+    ("cured", Verb),
+    ("affect", Verb),
+    ("affects", Verb),
+    ("affected", Verb),
+    ("reveal", Verb),
+    ("reveals", Verb),
+    ("remains", Verb),
+    ("involve", Verb),
+    ("involves", Verb),
+    ("involved", Verb),
+    ("require", Verb),
+    ("requires", Verb),
+    ("required", Verb),
+    ("observed", Verb),
+    ("reported", Verb),
+    ("associated", Verb),
+    ("compared", Verb),
+    ("performed", Verb),
+    ("used", Verb),
+    ("using", Verb),
+    ("including", Preposition),
+    ("results", Verb),
+    ("result", Verb),
+    ("presents", Verb),
+    ("present", Verb),
+    ("occurs", Verb),
+    ("occur", Verb),
     // Common adverbs.
-    ("not", Adverb), ("also", Adverb), ("often", Adverb), ("however", Adverb),
-    ("significantly", Adverb), ("respectively", Adverb), ("moreover", Adverb),
-    ("furthermore", Adverb), ("therefore", Adverb), ("thus", Adverb), ("here", Adverb),
-    ("well", Adverb), ("more", Adverb), ("less", Adverb), ("very", Adverb),
+    ("not", Adverb),
+    ("also", Adverb),
+    ("often", Adverb),
+    ("however", Adverb),
+    ("significantly", Adverb),
+    ("respectively", Adverb),
+    ("moreover", Adverb),
+    ("furthermore", Adverb),
+    ("therefore", Adverb),
+    ("thus", Adverb),
+    ("here", Adverb),
+    ("well", Adverb),
+    ("more", Adverb),
+    ("less", Adverb),
+    ("very", Adverb),
     // Common adjectives that the suffix rules would miss.
-    ("acute", Adjective), ("chronic", Adjective), ("severe", Adjective), ("mild", Adjective),
-    ("human", Adjective), ("new", Adjective), ("high", Adjective), ("low", Adjective),
-    ("early", Adjective), ("late", Adjective), ("common", Adjective), ("rare", Adjective),
-    ("large", Adjective), ("small", Adjective), ("major", Adjective), ("minor", Adjective),
-    ("left", Adjective), ("right", Adjective), ("first", Adjective), ("second", Adjective),
-    ("benign", Adjective), ("malignant", Adjective), ("distal", Adjective),
-    ("proximal", Adjective), ("bilateral", Adjective), ("ocular", Adjective),
-    ("corneal", Adjective), ("renal", Adjective), ("hepatic", Adjective),
-    ("cardiac", Adjective), ("pulmonary", Adjective), ("gastric", Adjective),
-    ("neural", Adjective), ("vascular", Adjective), ("cutaneous", Adjective),
-    ("clinical", Adjective), ("surgical", Adjective),
+    ("acute", Adjective),
+    ("chronic", Adjective),
+    ("severe", Adjective),
+    ("mild", Adjective),
+    ("human", Adjective),
+    ("new", Adjective),
+    ("high", Adjective),
+    ("low", Adjective),
+    ("early", Adjective),
+    ("late", Adjective),
+    ("common", Adjective),
+    ("rare", Adjective),
+    ("large", Adjective),
+    ("small", Adjective),
+    ("major", Adjective),
+    ("minor", Adjective),
+    ("left", Adjective),
+    ("right", Adjective),
+    ("first", Adjective),
+    ("second", Adjective),
+    ("benign", Adjective),
+    ("malignant", Adjective),
+    ("distal", Adjective),
+    ("proximal", Adjective),
+    ("bilateral", Adjective),
+    ("ocular", Adjective),
+    ("corneal", Adjective),
+    ("renal", Adjective),
+    ("hepatic", Adjective),
+    ("cardiac", Adjective),
+    ("pulmonary", Adjective),
+    ("gastric", Adjective),
+    ("neural", Adjective),
+    ("vascular", Adjective),
+    ("cutaneous", Adjective),
+    ("clinical", Adjective),
+    ("surgical", Adjective),
 ];
 
 const EN_SUFFIXES: &[(&str, PosTag)] = &[
     // Nominal derivational suffixes (biomedical-heavy).
-    ("ization", Noun), ("isation", Noun), ("ation", Noun), ("ition", Noun), ("ment", Noun),
-    ("ness", Noun), ("ity", Noun), ("ism", Noun), ("itis", Noun), ("osis", Noun),
-    ("oma", Noun), ("emia", Noun), ("aemia", Noun), ("pathy", Noun), ("ology", Noun),
-    ("graphy", Noun), ("scopy", Noun), ("ectomy", Noun), ("plasty", Noun), ("trophy", Noun),
-    ("gram", Noun), ("cyte", Noun), ("blast", Noun), ("genesis", Noun), ("plasia", Noun),
-    ("sclerosis", Noun), ("stenosis", Noun), ("ance", Noun), ("ence", Noun), ("ship", Noun),
-    ("ure", Noun), ("age", Noun), ("ery", Noun), ("or", Noun), ("er", Noun),
+    ("ization", Noun),
+    ("isation", Noun),
+    ("ation", Noun),
+    ("ition", Noun),
+    ("ment", Noun),
+    ("ness", Noun),
+    ("ity", Noun),
+    ("ism", Noun),
+    ("itis", Noun),
+    ("osis", Noun),
+    ("oma", Noun),
+    ("emia", Noun),
+    ("aemia", Noun),
+    ("pathy", Noun),
+    ("ology", Noun),
+    ("graphy", Noun),
+    ("scopy", Noun),
+    ("ectomy", Noun),
+    ("plasty", Noun),
+    ("trophy", Noun),
+    ("gram", Noun),
+    ("cyte", Noun),
+    ("blast", Noun),
+    ("genesis", Noun),
+    ("plasia", Noun),
+    ("sclerosis", Noun),
+    ("stenosis", Noun),
+    ("ance", Noun),
+    ("ence", Noun),
+    ("ship", Noun),
+    ("ure", Noun),
+    ("age", Noun),
+    ("ery", Noun),
+    ("or", Noun),
+    ("er", Noun),
     // Adjectival suffixes.
-    ("ical", Adjective), ("ological", Adjective), ("ous", Adjective), ("ious", Adjective),
-    ("eous", Adjective), ("al", Adjective), ("ar", Adjective), ("ary", Adjective),
-    ("ic", Adjective), ("ive", Adjective), ("able", Adjective), ("ible", Adjective),
-    ("ful", Adjective), ("less", Adjective), ("oid", Adjective), ("genic", Adjective),
+    ("ical", Adjective),
+    ("ological", Adjective),
+    ("ous", Adjective),
+    ("ious", Adjective),
+    ("eous", Adjective),
+    ("al", Adjective),
+    ("ar", Adjective),
+    ("ary", Adjective),
+    ("ic", Adjective),
+    ("ive", Adjective),
+    ("able", Adjective),
+    ("ible", Adjective),
+    ("ful", Adjective),
+    ("less", Adjective),
+    ("oid", Adjective),
+    ("genic", Adjective),
     ("tropic", Adjective),
     // Adverbs.
     ("ly", Adverb),
     // Verbal suffixes. "-ed"/"-ing" are short and noisy, but the
     // contextual repair in the tagger reclassifies participles inside NPs.
-    ("ize", Verb), ("ise", Verb), ("ify", Verb), ("ates", Verb), ("ed", Verb),
+    ("ize", Verb),
+    ("ise", Verb),
+    ("ify", Verb),
+    ("ates", Verb),
+    ("ed", Verb),
     ("ing", Verb),
 ];
 
 const FR_WORDS: &[(&str, PosTag)] = &[
-    ("le", Determiner), ("la", Determiner), ("les", Determiner), ("un", Determiner),
-    ("une", Determiner), ("des", Determiner), ("l'", Determiner),
-    ("ce", Determiner), ("cette", Determiner), ("ces", Determiner), ("cet", Determiner),
-    ("chaque", Determiner), ("plusieurs", Determiner), ("tout", Determiner),
-    ("toute", Determiner), ("tous", Determiner), ("toutes", Determiner),
-    ("de", Preposition), ("d'", Preposition), ("du", Preposition), ("à", Preposition),
+    ("le", Determiner),
+    ("la", Determiner),
+    ("les", Determiner),
+    ("un", Determiner),
+    ("une", Determiner),
+    ("des", Determiner),
+    ("l'", Determiner),
+    ("ce", Determiner),
+    ("cette", Determiner),
+    ("ces", Determiner),
+    ("cet", Determiner),
+    ("chaque", Determiner),
+    ("plusieurs", Determiner),
+    ("tout", Determiner),
+    ("toute", Determiner),
+    ("tous", Determiner),
+    ("toutes", Determiner),
+    ("de", Preposition),
+    ("d'", Preposition),
+    ("du", Preposition),
+    ("à", Preposition),
     ("au", Preposition),
-    ("aux", Preposition), ("en", Preposition), ("dans", Preposition), ("par", Preposition),
-    ("pour", Preposition), ("sur", Preposition), ("avec", Preposition), ("sans", Preposition),
-    ("sous", Preposition), ("chez", Preposition), ("entre", Preposition), ("vers", Preposition),
-    ("avant", Preposition), ("après", Preposition), ("pendant", Preposition),
-    ("et", Conjunction), ("ou", Conjunction), ("mais", Conjunction), ("car", Conjunction),
-    ("donc", Conjunction), ("si", Conjunction), ("que", Conjunction), ("qu'", Conjunction),
-    ("il", Pronoun), ("elle", Pronoun), ("ils", Pronoun), ("elles", Pronoun), ("on", Pronoun),
-    ("nous", Pronoun), ("qui", Pronoun), ("dont", Pronoun), ("se", Pronoun), ("s'", Pronoun),
-    ("est", Verb), ("sont", Verb), ("était", Verb), ("étaient", Verb), ("être", Verb),
-    ("a", Verb), ("ont", Verb), ("avait", Verb), ("avoir", Verb), ("peut", Verb),
-    ("peuvent", Verb), ("doit", Verb), ("montre", Verb), ("montrent", Verb),
-    ("provoque", Verb), ("provoquent", Verb), ("entraîne", Verb), ("présente", Verb),
-    ("présentent", Verb), ("observe", Verb), ("observée", Verb),
-    ("ne", Adverb), ("pas", Adverb), ("plus", Adverb), ("très", Adverb), ("souvent", Adverb),
-    ("aussi", Adverb), ("ainsi", Adverb), ("cependant", Adverb),
-    ("aigu", Adjective), ("aiguë", Adjective), ("chronique", Adjective),
-    ("sévère", Adjective), ("grave", Adjective), ("humain", Adjective),
-    ("humaine", Adjective), ("nouveau", Adjective), ("nouvelle", Adjective),
-    ("gauche", Adjective), ("droit", Adjective), ("droite", Adjective),
+    ("aux", Preposition),
+    ("en", Preposition),
+    ("dans", Preposition),
+    ("par", Preposition),
+    ("pour", Preposition),
+    ("sur", Preposition),
+    ("avec", Preposition),
+    ("sans", Preposition),
+    ("sous", Preposition),
+    ("chez", Preposition),
+    ("entre", Preposition),
+    ("vers", Preposition),
+    ("avant", Preposition),
+    ("après", Preposition),
+    ("pendant", Preposition),
+    ("et", Conjunction),
+    ("ou", Conjunction),
+    ("mais", Conjunction),
+    ("car", Conjunction),
+    ("donc", Conjunction),
+    ("si", Conjunction),
+    ("que", Conjunction),
+    ("qu'", Conjunction),
+    ("il", Pronoun),
+    ("elle", Pronoun),
+    ("ils", Pronoun),
+    ("elles", Pronoun),
+    ("on", Pronoun),
+    ("nous", Pronoun),
+    ("qui", Pronoun),
+    ("dont", Pronoun),
+    ("se", Pronoun),
+    ("s'", Pronoun),
+    ("est", Verb),
+    ("sont", Verb),
+    ("était", Verb),
+    ("étaient", Verb),
+    ("être", Verb),
+    ("a", Verb),
+    ("ont", Verb),
+    ("avait", Verb),
+    ("avoir", Verb),
+    ("peut", Verb),
+    ("peuvent", Verb),
+    ("doit", Verb),
+    ("montre", Verb),
+    ("montrent", Verb),
+    ("provoque", Verb),
+    ("provoquent", Verb),
+    ("entraîne", Verb),
+    ("présente", Verb),
+    ("présentent", Verb),
+    ("observe", Verb),
+    ("observée", Verb),
+    ("ne", Adverb),
+    ("pas", Adverb),
+    ("plus", Adverb),
+    ("très", Adverb),
+    ("souvent", Adverb),
+    ("aussi", Adverb),
+    ("ainsi", Adverb),
+    ("cependant", Adverb),
+    ("aigu", Adjective),
+    ("aiguë", Adjective),
+    ("chronique", Adjective),
+    ("sévère", Adjective),
+    ("grave", Adjective),
+    ("humain", Adjective),
+    ("humaine", Adjective),
+    ("nouveau", Adjective),
+    ("nouvelle", Adjective),
+    ("gauche", Adjective),
+    ("droit", Adjective),
+    ("droite", Adjective),
 ];
 
 const FR_SUFFIXES: &[(&str, PosTag)] = &[
-    ("tion", Noun), ("sion", Noun), ("ité", Noun), ("isme", Noun), ("ite", Noun),
-    ("ose", Noun), ("ome", Noun), ("émie", Noun), ("pathie", Noun), ("logie", Noun),
-    ("graphie", Noun), ("scopie", Noun), ("ectomie", Noun), ("plastie", Noun),
-    ("ance", Noun), ("ence", Noun), ("ment", Adverb), ("eur", Noun), ("euse", Noun),
-    ("age", Noun), ("ade", Noun), ("ie", Noun),
-    ("ique", Adjective), ("iques", Adjective), ("al", Adjective), ("ale", Adjective),
-    ("aux", Adjective), ("ales", Adjective), ("if", Adjective), ("ive", Adjective),
-    ("ifs", Adjective), ("ives", Adjective), ("eux", Adjective), ("euses", Adjective),
-    ("aire", Adjective), ("aires", Adjective), ("ienne", Adjective), ("oïde", Adjective),
-    ("er", Verb), ("ir", Verb), ("ée", Verb), ("és", Verb), ("ées", Verb),
+    ("tion", Noun),
+    ("sion", Noun),
+    ("ité", Noun),
+    ("isme", Noun),
+    ("ite", Noun),
+    ("ose", Noun),
+    ("ome", Noun),
+    ("émie", Noun),
+    ("pathie", Noun),
+    ("logie", Noun),
+    ("graphie", Noun),
+    ("scopie", Noun),
+    ("ectomie", Noun),
+    ("plastie", Noun),
+    ("ance", Noun),
+    ("ence", Noun),
+    ("ment", Adverb),
+    ("eur", Noun),
+    ("euse", Noun),
+    ("age", Noun),
+    ("ade", Noun),
+    ("ie", Noun),
+    ("ique", Adjective),
+    ("iques", Adjective),
+    ("al", Adjective),
+    ("ale", Adjective),
+    ("aux", Adjective),
+    ("ales", Adjective),
+    ("if", Adjective),
+    ("ive", Adjective),
+    ("ifs", Adjective),
+    ("ives", Adjective),
+    ("eux", Adjective),
+    ("euses", Adjective),
+    ("aire", Adjective),
+    ("aires", Adjective),
+    ("ienne", Adjective),
+    ("oïde", Adjective),
+    ("er", Verb),
+    ("ir", Verb),
+    ("ée", Verb),
+    ("és", Verb),
+    ("ées", Verb),
 ];
 
 const ES_WORDS: &[(&str, PosTag)] = &[
-    ("el", Determiner), ("la", Determiner), ("los", Determiner), ("las", Determiner),
-    ("un", Determiner), ("una", Determiner), ("unos", Determiner), ("unas", Determiner),
-    ("este", Determiner), ("esta", Determiner), ("estos", Determiner), ("estas", Determiner),
-    ("cada", Determiner), ("varios", Determiner), ("varias", Determiner),
-    ("todo", Determiner), ("toda", Determiner), ("todos", Determiner), ("todas", Determiner),
-    ("de", Preposition), ("del", Preposition), ("a", Preposition), ("al", Preposition),
-    ("en", Preposition), ("por", Preposition), ("para", Preposition), ("con", Preposition),
-    ("sin", Preposition), ("sobre", Preposition), ("entre", Preposition),
-    ("desde", Preposition), ("hasta", Preposition), ("durante", Preposition),
-    ("ante", Preposition), ("bajo", Preposition), ("tras", Preposition),
-    ("y", Conjunction), ("e", Conjunction), ("o", Conjunction), ("u", Conjunction),
-    ("pero", Conjunction), ("porque", Conjunction), ("aunque", Conjunction),
-    ("que", Conjunction), ("si", Conjunction),
-    ("él", Pronoun), ("ella", Pronoun), ("ellos", Pronoun), ("ellas", Pronoun),
-    ("se", Pronoun), ("nos", Pronoun), ("quien", Pronoun), ("cual", Pronoun),
-    ("es", Verb), ("son", Verb), ("era", Verb), ("eran", Verb), ("ser", Verb), ("fue", Verb),
-    ("fueron", Verb), ("ha", Verb), ("han", Verb), ("había", Verb), ("haber", Verb),
-    ("puede", Verb), ("pueden", Verb), ("debe", Verb), ("muestra", Verb),
-    ("muestran", Verb), ("causa", Verb), ("causan", Verb), ("presenta", Verb),
-    ("presentan", Verb), ("produce", Verb), ("producen", Verb), ("observa", Verb),
-    ("no", Adverb), ("más", Adverb), ("muy", Adverb), ("también", Adverb),
-    ("frecuentemente", Adverb), ("así", Adverb), ("además", Adverb),
-    ("agudo", Adjective), ("aguda", Adjective), ("crónico", Adjective),
-    ("crónica", Adjective), ("grave", Adjective), ("severo", Adjective),
-    ("severa", Adjective), ("humano", Adjective), ("humana", Adjective),
-    ("nuevo", Adjective), ("nueva", Adjective), ("izquierdo", Adjective),
+    ("el", Determiner),
+    ("la", Determiner),
+    ("los", Determiner),
+    ("las", Determiner),
+    ("un", Determiner),
+    ("una", Determiner),
+    ("unos", Determiner),
+    ("unas", Determiner),
+    ("este", Determiner),
+    ("esta", Determiner),
+    ("estos", Determiner),
+    ("estas", Determiner),
+    ("cada", Determiner),
+    ("varios", Determiner),
+    ("varias", Determiner),
+    ("todo", Determiner),
+    ("toda", Determiner),
+    ("todos", Determiner),
+    ("todas", Determiner),
+    ("de", Preposition),
+    ("del", Preposition),
+    ("a", Preposition),
+    ("al", Preposition),
+    ("en", Preposition),
+    ("por", Preposition),
+    ("para", Preposition),
+    ("con", Preposition),
+    ("sin", Preposition),
+    ("sobre", Preposition),
+    ("entre", Preposition),
+    ("desde", Preposition),
+    ("hasta", Preposition),
+    ("durante", Preposition),
+    ("ante", Preposition),
+    ("bajo", Preposition),
+    ("tras", Preposition),
+    ("y", Conjunction),
+    ("e", Conjunction),
+    ("o", Conjunction),
+    ("u", Conjunction),
+    ("pero", Conjunction),
+    ("porque", Conjunction),
+    ("aunque", Conjunction),
+    ("que", Conjunction),
+    ("si", Conjunction),
+    ("él", Pronoun),
+    ("ella", Pronoun),
+    ("ellos", Pronoun),
+    ("ellas", Pronoun),
+    ("se", Pronoun),
+    ("nos", Pronoun),
+    ("quien", Pronoun),
+    ("cual", Pronoun),
+    ("es", Verb),
+    ("son", Verb),
+    ("era", Verb),
+    ("eran", Verb),
+    ("ser", Verb),
+    ("fue", Verb),
+    ("fueron", Verb),
+    ("ha", Verb),
+    ("han", Verb),
+    ("había", Verb),
+    ("haber", Verb),
+    ("puede", Verb),
+    ("pueden", Verb),
+    ("debe", Verb),
+    ("muestra", Verb),
+    ("muestran", Verb),
+    ("causa", Verb),
+    ("causan", Verb),
+    ("presenta", Verb),
+    ("presentan", Verb),
+    ("produce", Verb),
+    ("producen", Verb),
+    ("observa", Verb),
+    ("no", Adverb),
+    ("más", Adverb),
+    ("muy", Adverb),
+    ("también", Adverb),
+    ("frecuentemente", Adverb),
+    ("así", Adverb),
+    ("además", Adverb),
+    ("agudo", Adjective),
+    ("aguda", Adjective),
+    ("crónico", Adjective),
+    ("crónica", Adjective),
+    ("grave", Adjective),
+    ("severo", Adjective),
+    ("severa", Adjective),
+    ("humano", Adjective),
+    ("humana", Adjective),
+    ("nuevo", Adjective),
+    ("nueva", Adjective),
+    ("izquierdo", Adjective),
     ("derecho", Adjective),
 ];
 
 const ES_SUFFIXES: &[(&str, PosTag)] = &[
-    ("ción", Noun), ("sión", Noun), ("ciones", Noun), ("dad", Noun), ("dades", Noun),
-    ("ismo", Noun), ("itis", Noun), ("osis", Noun), ("oma", Noun), ("emia", Noun),
-    ("patía", Noun), ("logía", Noun), ("grafía", Noun), ("scopia", Noun),
-    ("ectomía", Noun), ("plastia", Noun), ("miento", Noun), ("ancia", Noun),
-    ("encia", Noun), ("ura", Noun), ("aje", Noun),
+    ("ción", Noun),
+    ("sión", Noun),
+    ("ciones", Noun),
+    ("dad", Noun),
+    ("dades", Noun),
+    ("ismo", Noun),
+    ("itis", Noun),
+    ("osis", Noun),
+    ("oma", Noun),
+    ("emia", Noun),
+    ("patía", Noun),
+    ("logía", Noun),
+    ("grafía", Noun),
+    ("scopia", Noun),
+    ("ectomía", Noun),
+    ("plastia", Noun),
+    ("miento", Noun),
+    ("ancia", Noun),
+    ("encia", Noun),
+    ("ura", Noun),
+    ("aje", Noun),
     ("mente", Adverb),
-    ("ico", Adjective), ("ica", Adjective), ("icos", Adjective), ("icas", Adjective),
-    ("al", Adjective), ("ales", Adjective), ("ivo", Adjective), ("iva", Adjective),
-    ("ario", Adjective), ("aria", Adjective),
-    ("oso", Adjective), ("osa", Adjective), ("osos", Adjective), ("osas", Adjective),
-    ("ar", Verb), ("er", Verb), ("ir", Verb), ("ado", Verb), ("ada", Verb), ("ido", Verb),
+    ("ico", Adjective),
+    ("ica", Adjective),
+    ("icos", Adjective),
+    ("icas", Adjective),
+    ("al", Adjective),
+    ("ales", Adjective),
+    ("ivo", Adjective),
+    ("iva", Adjective),
+    ("ario", Adjective),
+    ("aria", Adjective),
+    ("oso", Adjective),
+    ("osa", Adjective),
+    ("osos", Adjective),
+    ("osas", Adjective),
+    ("ar", Verb),
+    ("er", Verb),
+    ("ir", Verb),
+    ("ado", Verb),
+    ("ada", Verb),
+    ("ido", Verb),
     ("ida", Verb),
 ];
 

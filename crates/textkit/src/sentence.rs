@@ -8,9 +8,9 @@
 /// Abbreviations that should not terminate a sentence (lower-case, without
 /// the trailing dot).
 const ABBREVIATIONS: &[&str] = &[
-    "dr", "mr", "mrs", "ms", "prof", "fig", "figs", "eq", "eqs", "ref", "refs", "et", "al",
-    "etc", "vs", "e.g", "i.e", "cf", "ca", "approx", "resp", "no", "nos", "vol", "pp", "inc",
-    "st", "mg", "ml", "kg", "dl",
+    "dr", "mr", "mrs", "ms", "prof", "fig", "figs", "eq", "eqs", "ref", "refs", "et", "al", "etc",
+    "vs", "e.g", "i.e", "cf", "ca", "approx", "resp", "no", "nos", "vol", "pp", "inc", "st", "mg",
+    "ml", "kg", "dl",
 ];
 
 /// Split `text` into sentence substrings (trimmed, non-empty).

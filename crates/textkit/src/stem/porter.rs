@@ -100,8 +100,7 @@ impl Stemmer {
     /// vowel - consonant, where the final consonant is not w, x or y.
     /// Used to restore a trailing `e` (hop → hope is prevented; fil → file).
     fn cvc(&self, i: usize) -> bool {
-        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2)
-        {
+        if i < 2 || !self.is_consonant(i) || self.is_consonant(i - 1) || !self.is_consonant(i - 2) {
             return false;
         }
         !matches!(self.b[i], b'w' | b'x' | b'y')
@@ -259,8 +258,8 @@ impl Stemmer {
     // Step 4: drop suffixes when m > 1.
     fn step4(&mut self) {
         const SUFFIXES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suf in SUFFIXES {
             if let Some(j) = self.stem_end(suf) {

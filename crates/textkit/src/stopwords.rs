@@ -12,52 +12,414 @@ use std::collections::HashSet;
 
 /// English stopwords.
 pub const ENGLISH: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and",
-    "any", "are", "as", "at", "be", "because", "been", "before", "being", "below", "between",
-    "both", "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down",
-    "during", "each", "few", "for", "from", "further", "had", "has", "have", "having", "he",
-    "her", "here", "hers", "herself", "him", "himself", "his", "how", "however", "i", "if",
-    "in", "into", "is", "it", "its", "itself", "may", "me", "might", "more", "most", "must",
-    "my", "myself", "no", "nor", "not", "of", "off", "on", "once", "only", "or", "other",
-    "ought", "our", "ours", "ourselves", "out", "over", "own", "same", "she", "should", "so",
-    "some", "such", "than", "that", "the", "their", "theirs", "them", "themselves", "then",
-    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
-    "upon", "very", "was", "we", "were", "what", "when", "where", "which", "while", "who",
-    "whom", "why", "will", "with", "within", "without", "would", "you", "your", "yours",
-    "yourself", "yourselves",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "also",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "however",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "may",
+    "me",
+    "might",
+    "more",
+    "most",
+    "must",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "she",
+    "should",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "upon",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "within",
+    "without",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
 ];
 
 /// French stopwords.
 pub const FRENCH: &[&str] = &[
-    "a", "afin", "ai", "ainsi", "alors", "au", "aucun", "aucune", "aujourd'hui", "auquel",
-    "aussi", "autre", "autres", "aux", "avant", "avec", "avoir", "c'", "car", "ce", "ceci",
-    "cela", "celle", "celles", "celui", "cependant", "ces", "cet", "cette", "ceux", "chaque",
-    "chez", "comme", "comment", "d'", "dans", "de", "depuis", "des", "donc", "dont", "du",
-    "elle", "elles", "en", "encore", "entre", "est", "et", "etc", "eu", "fait", "faire",
-    "fois", "hors", "il", "ils", "j'", "je", "l'", "la", "le", "les", "leur", "leurs", "lors",
-    "lui", "là", "m'", "ma", "mais", "me", "mes", "mon", "même", "n'", "ne", "ni", "non",
-    "nos", "notre", "nous", "on", "ont", "ou", "où", "par", "parce", "pas", "pendant", "peu",
-    "peut", "plus", "pour", "pourquoi", "qu'", "quand", "que", "quel", "quelle", "quelles",
-    "quels", "qui", "s'", "sa", "sans", "se", "selon", "ses", "si", "sinon", "soit", "son",
-    "sont", "sous", "sur", "t'", "ta", "tandis", "te", "tes", "ton", "tous", "tout", "toute",
-    "toutes", "tu", "un", "une", "vers", "via", "vos", "votre", "vous", "y", "à", "été",
+    "a",
+    "afin",
+    "ai",
+    "ainsi",
+    "alors",
+    "au",
+    "aucun",
+    "aucune",
+    "aujourd'hui",
+    "auquel",
+    "aussi",
+    "autre",
+    "autres",
+    "aux",
+    "avant",
+    "avec",
+    "avoir",
+    "c'",
+    "car",
+    "ce",
+    "ceci",
+    "cela",
+    "celle",
+    "celles",
+    "celui",
+    "cependant",
+    "ces",
+    "cet",
+    "cette",
+    "ceux",
+    "chaque",
+    "chez",
+    "comme",
+    "comment",
+    "d'",
+    "dans",
+    "de",
+    "depuis",
+    "des",
+    "donc",
+    "dont",
+    "du",
+    "elle",
+    "elles",
+    "en",
+    "encore",
+    "entre",
+    "est",
+    "et",
+    "etc",
+    "eu",
+    "fait",
+    "faire",
+    "fois",
+    "hors",
+    "il",
+    "ils",
+    "j'",
+    "je",
+    "l'",
+    "la",
+    "le",
+    "les",
+    "leur",
+    "leurs",
+    "lors",
+    "lui",
+    "là",
+    "m'",
+    "ma",
+    "mais",
+    "me",
+    "mes",
+    "mon",
+    "même",
+    "n'",
+    "ne",
+    "ni",
+    "non",
+    "nos",
+    "notre",
+    "nous",
+    "on",
+    "ont",
+    "ou",
+    "où",
+    "par",
+    "parce",
+    "pas",
+    "pendant",
+    "peu",
+    "peut",
+    "plus",
+    "pour",
+    "pourquoi",
+    "qu'",
+    "quand",
+    "que",
+    "quel",
+    "quelle",
+    "quelles",
+    "quels",
+    "qui",
+    "s'",
+    "sa",
+    "sans",
+    "se",
+    "selon",
+    "ses",
+    "si",
+    "sinon",
+    "soit",
+    "son",
+    "sont",
+    "sous",
+    "sur",
+    "t'",
+    "ta",
+    "tandis",
+    "te",
+    "tes",
+    "ton",
+    "tous",
+    "tout",
+    "toute",
+    "toutes",
+    "tu",
+    "un",
+    "une",
+    "vers",
+    "via",
+    "vos",
+    "votre",
+    "vous",
+    "y",
+    "à",
+    "été",
     "être",
 ];
 
 /// Spanish stopwords.
 pub const SPANISH: &[&str] = &[
-    "a", "al", "algo", "algunas", "algunos", "ante", "antes", "aquel", "aquella", "aquellas",
-    "aquellos", "aquí", "así", "aunque", "bajo", "bien", "cada", "casi", "como", "con",
-    "contra", "cual", "cuales", "cualquier", "cuando", "de", "del", "desde", "donde", "dos",
-    "durante", "e", "el", "ella", "ellas", "ellos", "en", "entre", "era", "eran", "es", "esa",
-    "esas", "ese", "eso", "esos", "esta", "estaba", "estas", "este", "esto", "estos", "están",
-    "fue", "fueron", "ha", "había", "han", "hasta", "hay", "la", "las", "le", "les", "lo",
-    "los", "luego", "mas", "me", "mi", "mientras", "muy", "más", "ni", "no", "nos", "nosotros",
-    "nuestra", "nuestras", "nuestro", "nuestros", "o", "otra", "otras", "otro", "otros",
-    "para", "pero", "poco", "por", "porque", "pues", "que", "quien", "quienes", "qué", "se",
-    "según", "ser", "si", "sido", "sin", "sobre", "son", "su", "sus", "sí", "también",
-    "tanto", "te", "tiene", "tienen", "toda", "todas", "todo", "todos", "tras", "tu", "tus",
-    "un", "una", "unas", "uno", "unos", "y", "ya", "yo", "él",
+    "a",
+    "al",
+    "algo",
+    "algunas",
+    "algunos",
+    "ante",
+    "antes",
+    "aquel",
+    "aquella",
+    "aquellas",
+    "aquellos",
+    "aquí",
+    "así",
+    "aunque",
+    "bajo",
+    "bien",
+    "cada",
+    "casi",
+    "como",
+    "con",
+    "contra",
+    "cual",
+    "cuales",
+    "cualquier",
+    "cuando",
+    "de",
+    "del",
+    "desde",
+    "donde",
+    "dos",
+    "durante",
+    "e",
+    "el",
+    "ella",
+    "ellas",
+    "ellos",
+    "en",
+    "entre",
+    "era",
+    "eran",
+    "es",
+    "esa",
+    "esas",
+    "ese",
+    "eso",
+    "esos",
+    "esta",
+    "estaba",
+    "estas",
+    "este",
+    "esto",
+    "estos",
+    "están",
+    "fue",
+    "fueron",
+    "ha",
+    "había",
+    "han",
+    "hasta",
+    "hay",
+    "la",
+    "las",
+    "le",
+    "les",
+    "lo",
+    "los",
+    "luego",
+    "mas",
+    "me",
+    "mi",
+    "mientras",
+    "muy",
+    "más",
+    "ni",
+    "no",
+    "nos",
+    "nosotros",
+    "nuestra",
+    "nuestras",
+    "nuestro",
+    "nuestros",
+    "o",
+    "otra",
+    "otras",
+    "otro",
+    "otros",
+    "para",
+    "pero",
+    "poco",
+    "por",
+    "porque",
+    "pues",
+    "que",
+    "quien",
+    "quienes",
+    "qué",
+    "se",
+    "según",
+    "ser",
+    "si",
+    "sido",
+    "sin",
+    "sobre",
+    "son",
+    "su",
+    "sus",
+    "sí",
+    "también",
+    "tanto",
+    "te",
+    "tiene",
+    "tienen",
+    "toda",
+    "todas",
+    "todo",
+    "todos",
+    "tras",
+    "tu",
+    "tus",
+    "un",
+    "una",
+    "unas",
+    "uno",
+    "unos",
+    "y",
+    "ya",
+    "yo",
+    "él",
 ];
 
 /// A compiled stopword set for one language.

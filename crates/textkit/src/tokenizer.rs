@@ -198,9 +198,42 @@ fn byte_end(chars: &[(usize, char)], idx: usize, text: &str) -> usize {
 fn is_punct(c: char) -> bool {
     matches!(
         c,
-        '.' | ',' | ';' | ':' | '!' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '"' | '\''
-            | '«' | '»' | '¿' | '¡' | '-' | '–' | '—' | '/' | '\\' | '%' | '&' | '*' | '+'
-            | '=' | '<' | '>' | '|' | '~' | '^' | '_' | '@' | '#' | '$'
+        '.' | ','
+            | ';'
+            | ':'
+            | '!'
+            | '?'
+            | '('
+            | ')'
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '"'
+            | '\''
+            | '«'
+            | '»'
+            | '¿'
+            | '¡'
+            | '-'
+            | '–'
+            | '—'
+            | '/'
+            | '\\'
+            | '%'
+            | '&'
+            | '*'
+            | '+'
+            | '='
+            | '<'
+            | '>'
+            | '|'
+            | '~'
+            | '^'
+            | '_'
+            | '@'
+            | '#'
+            | '$'
     )
 }
 

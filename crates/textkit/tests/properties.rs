@@ -1,83 +1,135 @@
 //! Property tests for the NLP substrate.
+//!
+//! Formerly written against `proptest`; now driven by the workspace's
+//! own deterministic PRNG so the suite builds and runs with no external
+//! dependencies (hermetic/offline builds). Each test sweeps a fixed
+//! number of seeded random cases, so failures reproduce exactly.
 
+use boe_rng::StdRng;
 use boe_textkit::pattern::PatternSet;
 use boe_textkit::pos::{PosTag, PosTagger};
 use boe_textkit::sentence::split_sentences;
 use boe_textkit::stem;
 use boe_textkit::{Language, Tokenizer, Vocabulary};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn tokenization_is_deterministic_and_span_consistent(
-        s in "[a-zA-Zàéèêëíñóúüç0-9 .,;:()'-]{0,120}"
-    ) {
+const CASES: usize = 200;
+
+fn rand_string(rng: &mut StdRng, charset: &str, max_len: usize) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+fn rand_word(rng: &mut StdRng, charset: &str, min_len: usize, max_len: usize) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len)
+        .map(|_| chars[rng.gen_range(0..chars.len())])
+        .collect()
+}
+
+#[test]
+fn tokenization_is_deterministic_and_span_consistent() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let charset = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJàéèêëíñóúüç0123456789 .,;:()'-";
+    for _ in 0..CASES {
+        let s = rand_string(&mut rng, charset, 120);
         for lang in Language::ALL {
             let tk = Tokenizer::new(lang);
             let a = tk.tokenize(&s);
             let b = tk.tokenize(&s);
-            prop_assert_eq!(&a, &b, "{}", lang);
+            assert_eq!(a, b, "{lang}: {s:?}");
             // Spans are in order and non-overlapping.
             for w in a.windows(2) {
-                prop_assert!(w[0].span.end <= w[1].span.start);
+                assert!(w[0].span.end <= w[1].span.start, "{lang}: {s:?}");
             }
             for t in &a {
-                prop_assert!(!t.is_empty());
+                assert!(!t.is_empty(), "{lang}: {s:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn sentences_cover_only_source_material(s in "[a-zA-Z .!?0-9]{0,150}") {
+#[test]
+fn sentences_cover_only_source_material() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..CASES {
+        let s = rand_string(&mut rng, "abcdefghijklmnopqrstuvwxyzABC .!?0123456789", 150);
         let sentences = split_sentences(&s);
         for sent in &sentences {
-            prop_assert!(s.contains(sent), "{sent:?} not in source");
-            prop_assert!(!sent.trim().is_empty());
+            assert!(s.contains(sent), "{sent:?} not in source {s:?}");
+            assert!(!sent.trim().is_empty());
         }
     }
+}
 
-    #[test]
-    fn tagger_output_is_total_and_aligned(s in "[a-zA-Z .,;-]{0,100}") {
+#[test]
+fn tagger_output_is_total_and_aligned() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..CASES {
+        let s = rand_string(&mut rng, "abcdefghijklmnopqrstuvwxyz .,;-", 100);
         for lang in Language::ALL {
             let toks = Tokenizer::new(lang).tokenize(&s);
             let tags = PosTagger::new(lang).tag(&toks);
-            prop_assert_eq!(tags.len(), toks.len());
+            assert_eq!(tags.len(), toks.len(), "{lang}: {s:?}");
         }
     }
+}
 
-    #[test]
-    fn pattern_matches_stay_in_bounds(tags in proptest::collection::vec(0u8..11, 0..20)) {
-        let tags: Vec<PosTag> = tags.into_iter().map(|i| PosTag::ALL[i as usize]).collect();
+#[test]
+fn pattern_matches_stay_in_bounds() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..20);
+        let tags: Vec<PosTag> = (0..n)
+            .map(|_| PosTag::ALL[rng.gen_range(0..11usize)])
+            .collect();
         for lang in Language::ALL {
             let set = PatternSet::for_language(lang);
             for m in set.matches(&tags) {
-                prop_assert!(m.start + m.len <= tags.len());
-                prop_assert!(m.pattern < set.patterns().len());
-                prop_assert_eq!(&tags[m.start..m.start + m.len], &set.patterns()[m.pattern].tags[..]);
+                assert!(m.start + m.len <= tags.len());
+                assert!(m.pattern < set.patterns().len());
+                assert_eq!(
+                    &tags[m.start..m.start + m.len],
+                    &set.patterns()[m.pattern].tags[..]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn stemmers_produce_nonempty_stems(w in "[a-zàéñç]{1,18}") {
+#[test]
+fn stemmers_produce_nonempty_stems() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..CASES {
+        let w = rand_word(&mut rng, "abcdefghijklmnopqrstuvwxyzàéñç", 1, 18);
         for lang in Language::ALL {
             let s = stem::stem(lang, &w);
-            prop_assert!(!s.is_empty(), "{lang}: {w:?}");
+            assert!(!s.is_empty(), "{lang}: {w:?}");
         }
     }
+}
 
-    #[test]
-    fn vocabulary_intern_get_agree(words in proptest::collection::vec("[a-z]{1,10}", 0..40)) {
+#[test]
+fn vocabulary_intern_get_agree() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..40);
+        let words: Vec<String> = (0..n)
+            .map(|_| rand_word(&mut rng, "abcdefghijklmnopqrstuvwxyz", 1, 10))
+            .collect();
         let mut v = Vocabulary::new();
         let ids: Vec<_> = words.iter().map(|w| v.intern(w)).collect();
         for (w, id) in words.iter().zip(&ids) {
-            prop_assert_eq!(v.get(w), Some(*id));
-            prop_assert_eq!(v.text(*id), w.as_str());
+            assert_eq!(v.get(w), Some(*id));
+            assert_eq!(v.text(*id), w.as_str());
         }
         // Distinct strings ⇔ distinct ids.
         let mut uniq: Vec<&String> = words.iter().collect();
         uniq.sort();
         uniq.dedup();
-        prop_assert_eq!(v.len(), uniq.len());
+        assert_eq!(v.len(), uniq.len());
     }
 }

@@ -33,9 +33,12 @@ fn main() {
     }
     let corpus = cb.build();
 
-    // Steps I–IV.
+    // Steps I–IV. `run` is fallible: degenerate input (empty corpus,
+    // language mismatch, ...) comes back as a typed `EnrichError`.
     let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-    let report = pipeline.run(&corpus, &ontology);
+    let report = pipeline
+        .run(&corpus, &ontology)
+        .expect("toy inputs are valid");
 
     println!("{report}");
     if let Some(term) = report.get("corneal injuries") {

@@ -29,11 +29,7 @@ fn main() {
         let tb = corpus.phrase_ids(b_term).expect("known");
         match extract_relation(&corpus, &ta, &tb) {
             Some(ev) => {
-                let verbs: Vec<String> = ev
-                    .verbs
-                    .iter()
-                    .map(|(v, c)| format!("{v}×{c}"))
-                    .collect();
+                let verbs: Vec<String> = ev.verbs.iter().map(|(v, c)| format!("{v}×{c}")).collect();
                 println!(
                     "{a:<22} —[{}]→ {b_term:<18} (from {} shared sentences; verbs: {})",
                     ev.relation.name(),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: everything here runs without network access.
+# The workspace has no external dependencies, so no `cargo fetch` step
+# is needed — `--offline` guards against accidental registry lookups.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test -q --offline
+run cargo test -q --workspace --offline
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo fmt --check
+
+echo "ci: all checks passed"

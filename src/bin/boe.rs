@@ -4,22 +4,29 @@
 //! boe extract  <corpus.txt> [--lang en|fr|es] [--measure NAME] [--top N]
 //! boe senses   <corpus.txt> <term> [--lang ..]
 //! boe link     <corpus.txt> <ontology.boe> <term> [--top N]
-//! boe pipeline <corpus.txt> <ontology.boe> [--top N]
+//! boe pipeline <corpus.txt> <ontology.boe> [--top N] [--strict]
 //! boe demo
 //! ```
 //!
 //! Corpus files are plain text; blank lines separate documents. Ontology
 //! files use the `boe-ontology` text format (`! name lang` header, then
 //! `C`/`S`/`L` records — see `boe_ontology::io`).
+//!
+//! Exit codes are stable per error class: 0 success, 1 I/O error,
+//! 2 usage error, 3 invalid/empty input, 4 language mismatch, 5 unknown
+//! term, 6 stage failure, 7 degraded run under `--strict`. Warnings and
+//! degradations always go to stderr.
 
 use bio_onto_enrich::corpus::corpus::{Corpus, CorpusBuilder};
 use bio_onto_enrich::ontology::{io as onto_io, Ontology};
 use bio_onto_enrich::textkit::Language;
+use bio_onto_enrich::workflow::error::EnrichError;
 use bio_onto_enrich::workflow::linkage::{LinkerConfig, SemanticLinker};
 use bio_onto_enrich::workflow::senses::{SenseInducer, SenseInducerConfig};
 use bio_onto_enrich::workflow::termex::candidates::CandidateOptions;
 use bio_onto_enrich::workflow::termex::{TermExtractor, TermMeasure};
 use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+use std::fmt;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -28,9 +35,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("boe: {e}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -39,33 +48,112 @@ const USAGE: &str = "usage:
   boe extract  <corpus.txt> [--lang en|fr|es] [--measure NAME] [--top N]
   boe senses   <corpus.txt> <term> [--lang en|fr|es]
   boe link     <corpus.txt> <ontology.boe> <term> [--top N]
-  boe pipeline <corpus.txt> <ontology.boe> [--top N]
+  boe pipeline <corpus.txt> <ontology.boe> [--top N] [--strict]
   boe demo
 
-measures: c-value tf-idf okapi f-tfidf-c f-ocapi lidf-value tergraph";
+measures: c-value tf-idf okapi f-tfidf-c f-ocapi lidf-value tergraph
 
-/// Minimal flag parser: returns (positional, flag lookup).
+exit codes: 0 ok · 1 i/o · 2 usage · 3 invalid input · 4 language
+mismatch · 5 unknown term · 6 stage failure · 7 degraded (--strict)";
+
+/// A CLI failure, mapped onto a stable exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown subcommand/flag, missing arguments.
+    Usage(String),
+    /// The OS said no: unreadable files and similar.
+    Io(String),
+    /// A typed workflow error.
+    Enrich(EnrichError),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io(_) => 1,
+            CliError::Enrich(e) => e.exit_code(),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Io(m) => f.write_str(m),
+            CliError::Enrich(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<EnrichError> for CliError {
+    fn from(e: EnrichError) -> Self {
+        CliError::Enrich(e)
+    }
+}
+
+/// The flags one subcommand accepts.
+struct FlagSpec {
+    /// Flags that consume the next argument as a value.
+    valued: &'static [&'static str],
+    /// Boolean switches.
+    boolean: &'static [&'static str],
+}
+
+impl FlagSpec {
+    fn describe(&self) -> String {
+        let all: Vec<String> = self
+            .valued
+            .iter()
+            .chain(self.boolean)
+            .map(|n| format!("--{n}"))
+            .collect();
+        if all.is_empty() {
+            "this subcommand takes no flags".to_owned()
+        } else {
+            format!("valid flags: {}", all.join(", "))
+        }
+    }
+}
+
+/// Parsed argv of one subcommand: positional arguments plus recognized
+/// flags. Unknown or misspelled flags are rejected against the spec.
 struct Flags {
     positional: Vec<String>,
     flags: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Flags {
-    fn parse(args: &[String]) -> Result<Flags, String> {
+    fn parse(args: &[String], spec: &FlagSpec) -> Result<Flags, CliError> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
+        let mut switches = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                flags.push((name.to_owned(), value.clone()));
+                if spec.boolean.contains(&name) {
+                    switches.push(name.to_owned());
+                } else if spec.valued.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+                    flags.push((name.to_owned(), value.clone()));
+                } else {
+                    return Err(CliError::Usage(format!(
+                        "unknown flag --{name} ({})",
+                        spec.describe()
+                    )));
+                }
             } else {
                 positional.push(a.clone());
             }
         }
-        Ok(Flags { positional, flags })
+        Ok(Flags {
+            positional,
+            flags,
+            switches,
+        })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -75,65 +163,106 @@ impl Flags {
             .map(|(_, v)| v.as_str())
     }
 
-    fn lang(&self) -> Result<Language, String> {
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn lang(&self) -> Result<Language, CliError> {
         self.get("lang")
             .unwrap_or("en")
             .parse()
-            .map_err(|e| format!("{e}"))
+            .map_err(|e| CliError::Usage(format!("{e}")))
     }
 
-    fn top(&self, default: usize) -> Result<usize, String> {
+    fn top(&self, default: usize) -> Result<usize, CliError> {
         match self.get("top") {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad --top value {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --top value {v:?}"))),
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
-    let flags = Flags::parse(rest)?;
     match cmd.as_str() {
-        "extract" => cmd_extract(&flags),
-        "senses" => cmd_senses(&flags),
-        "link" => cmd_link(&flags),
-        "pipeline" => cmd_pipeline(&flags),
-        "demo" => cmd_demo(),
-        other => Err(format!("unknown subcommand {other:?}")),
+        "extract" => cmd_extract(&Flags::parse(
+            rest,
+            &FlagSpec {
+                valued: &["lang", "measure", "top"],
+                boolean: &[],
+            },
+        )?),
+        "senses" => cmd_senses(&Flags::parse(
+            rest,
+            &FlagSpec {
+                valued: &["lang"],
+                boolean: &[],
+            },
+        )?),
+        "link" => cmd_link(&Flags::parse(
+            rest,
+            &FlagSpec {
+                valued: &["top"],
+                boolean: &[],
+            },
+        )?),
+        "pipeline" => cmd_pipeline(&Flags::parse(
+            rest,
+            &FlagSpec {
+                valued: &["top"],
+                boolean: &["strict"],
+            },
+        )?),
+        "demo" => {
+            Flags::parse(
+                rest,
+                &FlagSpec {
+                    valued: &[],
+                    boolean: &[],
+                },
+            )?;
+            cmd_demo()
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn load_corpus(path: &str, lang: Language) -> Result<Corpus, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+fn load_corpus(path: &str, lang: Language) -> Result<Corpus, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path:?}: {e}")))?;
     let mut builder = CorpusBuilder::new(lang);
     for doc in text.split("\n\n").filter(|d| !d.trim().is_empty()) {
         builder.add_text(doc);
     }
     if builder.is_empty() {
-        return Err(format!("{path:?} contains no documents"));
+        return Err(EnrichError::InvalidInput(format!("{path:?} contains no documents")).into());
     }
     Ok(builder.build())
 }
 
-fn load_ontology(path: &str) -> Result<Ontology, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    onto_io::from_str(&text).map_err(|e| format!("cannot parse {path:?}: {e}"))
+fn load_ontology(path: &str) -> Result<Ontology, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path:?}: {e}")))?;
+    onto_io::from_str(&text)
+        .map_err(|e| EnrichError::InvalidInput(format!("cannot parse {path:?}: {e}")).into())
 }
 
-fn parse_measure(name: &str) -> Result<TermMeasure, String> {
+fn parse_measure(name: &str) -> Result<TermMeasure, CliError> {
     TermMeasure::ALL
         .into_iter()
         .find(|m| m.name() == name)
-        .ok_or_else(|| format!("unknown measure {name:?}"))
+        .ok_or_else(|| CliError::Usage(format!("unknown measure {name:?}")))
 }
 
-fn cmd_extract(flags: &Flags) -> Result<(), String> {
+fn cmd_extract(flags: &Flags) -> Result<(), CliError> {
     let [path] = flags.positional.as_slice() else {
-        return Err("extract needs exactly one corpus file".into());
+        return Err(CliError::Usage(
+            "extract needs exactly one corpus file".into(),
+        ));
     };
     let lang = flags.lang()?;
     let measure = parse_measure(flags.get("measure").unwrap_or("lidf-value"))?;
@@ -151,14 +280,16 @@ fn cmd_extract(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_senses(flags: &Flags) -> Result<(), String> {
+fn cmd_senses(flags: &Flags) -> Result<(), CliError> {
     let [path, term] = flags.positional.as_slice() else {
-        return Err("senses needs a corpus file and a term".into());
+        return Err(CliError::Usage(
+            "senses needs a corpus file and a term".into(),
+        ));
     };
     let corpus = load_corpus(path, flags.lang()?)?;
     let ids = corpus
         .phrase_ids(term)
-        .ok_or_else(|| format!("term {term:?} does not occur in the corpus"))?;
+        .ok_or_else(|| EnrichError::UnknownTerm(term.clone()))?;
     let inducer = SenseInducer::new(&corpus, SenseInducerConfig::default());
     let senses = inducer.induce(&ids, true);
     println!("term {term:?}: {} sense(s)", senses.k);
@@ -179,12 +310,17 @@ fn cmd_senses(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_link(flags: &Flags) -> Result<(), String> {
+fn cmd_link(flags: &Flags) -> Result<(), CliError> {
     let [corpus_path, onto_path, term] = flags.positional.as_slice() else {
-        return Err("link needs a corpus file, an ontology file and a term".into());
+        return Err(CliError::Usage(
+            "link needs a corpus file, an ontology file and a term".into(),
+        ));
     };
     let ontology = load_ontology(onto_path)?;
     let corpus = load_corpus(corpus_path, ontology.language())?;
+    if corpus.phrase_ids(term).is_none() {
+        return Err(EnrichError::UnknownTerm(term.clone()).into());
+    }
     let top = flags.top(10)?;
     let linker = SemanticLinker::new(
         &corpus,
@@ -212,9 +348,11 @@ fn cmd_link(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
+fn cmd_pipeline(flags: &Flags) -> Result<(), CliError> {
     let [corpus_path, onto_path] = flags.positional.as_slice() else {
-        return Err("pipeline needs a corpus file and an ontology file".into());
+        return Err(CliError::Usage(
+            "pipeline needs a corpus file and an ontology file".into(),
+        ));
     };
     let ontology = load_ontology(onto_path)?;
     let corpus = load_corpus(corpus_path, ontology.language())?;
@@ -222,12 +360,27 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), String> {
         top_terms: flags.top(50)?,
         ..Default::default()
     });
-    let report = pipeline.run(&corpus, &ontology);
+    let report = pipeline.run(&corpus, &ontology)?;
+    for w in &report.diagnostics.warnings {
+        eprintln!("boe: warning: {w}");
+    }
+    for d in &report.diagnostics.degraded {
+        eprintln!(
+            "boe: warning: {:?} degraded at {}: {}",
+            d.term, d.stage, d.reason
+        );
+    }
     print!("{report}");
+    if flags.has("strict") && report.is_degraded() {
+        return Err(EnrichError::Degraded {
+            warnings: report.diagnostics.warning_count(),
+        }
+        .into());
+    }
     Ok(())
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo() -> Result<(), CliError> {
     use bio_onto_enrich::eval::exp_linkage_case;
     use bio_onto_enrich::eval::world::{World, WorldConfig};
     let world = World::generate(&WorldConfig {

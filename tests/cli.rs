@@ -34,7 +34,11 @@ const ONTOLOGY: &str = "! demo en\nC 0 eye diseases\nC 1 corneal diseases\nL 1 0
 fn extract_lists_ranked_terms() {
     let corpus = write_temp("c1.txt", CORPUS);
     let out = boe(&["extract", corpus.to_str().expect("utf8"), "--top", "5"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("corneal injuries"), "{stdout}");
     assert!(stdout.contains("top 5 by lidf-value"), "{stdout}");
@@ -50,7 +54,11 @@ fn link_proposes_ontology_positions() {
         onto.to_str().expect("utf8"),
         "corneal injuries",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("corneal diseases"), "{stdout}");
     assert!(stdout.contains("cosine"), "{stdout}");
@@ -65,7 +73,11 @@ fn pipeline_prints_a_report() {
         corpus.to_str().expect("utf8"),
         onto.to_str().expect("utf8"),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("enrichment report"), "{stdout}");
 }
@@ -83,6 +95,59 @@ fn bad_usage_fails_with_usage_text() {
     let out = boe(&["extract", "/nonexistent/file.txt"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_flag_is_rejected_listing_valid_flags() {
+    let corpus = write_temp("c5.txt", CORPUS);
+    let out = boe(&["extract", corpus.to_str().expect("utf8"), "--topp", "5"]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --topp"), "{stderr}");
+    assert!(stderr.contains("--top"), "must list valid flags: {stderr}");
+    assert!(stderr.contains("--measure"), "{stderr}");
+}
+
+#[test]
+fn exit_codes_distinguish_error_classes() {
+    // Usage error: 2.
+    assert_eq!(boe(&["frobnicate"]).status.code(), Some(2));
+    // I/O error: 1.
+    let out = boe(&["extract", "/nonexistent/file.txt"]);
+    assert_eq!(out.status.code(), Some(1));
+    // Invalid input (no documents): 3.
+    let empty = write_temp("empty.txt", "\n\n\n");
+    let out = boe(&["extract", empty.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(3));
+    // Unknown term: 5.
+    let corpus = write_temp("c6.txt", CORPUS);
+    let out = boe(&["senses", corpus.to_str().expect("utf8"), "zyzzyva"]);
+    assert_eq!(out.status.code(), Some(5));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("zyzzyva"));
+}
+
+#[test]
+fn strict_mode_promotes_warnings_to_errors() {
+    // A single-document corpus triggers a validation warning; --strict
+    // turns the degraded run into exit code 7.
+    let one_doc = "Corneal injuries damage the epithelium stroma tissue. \
+                   Corneal diseases affect the epithelium stroma tissue.\n";
+    let corpus = write_temp("c7.txt", one_doc);
+    let onto = write_temp("o7.boe", ONTOLOGY);
+    let c = corpus.to_str().expect("utf8");
+    let o = onto.to_str().expect("utf8");
+
+    let lenient = boe(&["pipeline", c, o]);
+    assert!(lenient.status.success(), "lenient run must pass");
+    let stderr = String::from_utf8_lossy(&lenient.stderr);
+    assert!(
+        stderr.contains("warning"),
+        "warnings go to stderr: {stderr}"
+    );
+
+    let strict = boe(&["pipeline", c, o, "--strict"]);
+    assert_eq!(strict.status.code(), Some(7), "degraded under --strict");
+    assert!(String::from_utf8_lossy(&strict.stderr).contains("strict"));
 }
 
 #[test]

@@ -24,7 +24,9 @@ fn pipeline_analyses_new_terms_and_links_them() {
         top_terms: 600,
         ..Default::default()
     });
-    let report = pipeline.run(&w.corpus, &w.reduced_ontology);
+    let report = pipeline
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
     assert!(!report.is_empty(), "no candidates analysed");
     assert!(
         !report.already_known.is_empty(),
@@ -62,8 +64,12 @@ fn pipeline_analyses_new_terms_and_links_them() {
 fn pipeline_is_deterministic() {
     let w = world();
     let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-    let a = pipeline.run(&w.corpus, &w.reduced_ontology);
-    let b = pipeline.run(&w.corpus, &w.reduced_ontology);
+    let a = pipeline
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
+    let b = pipeline
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
     assert_eq!(a.len(), b.len());
     for (x, y) in a.terms.iter().zip(&b.terms) {
         assert_eq!(x.surface, y.surface);
@@ -77,7 +83,9 @@ fn pipeline_is_deterministic() {
 fn known_terms_never_reappear_as_candidates() {
     let w = world();
     let pipeline = EnrichmentPipeline::new(PipelineConfig::default());
-    let report = pipeline.run(&w.corpus, &w.reduced_ontology);
+    let report = pipeline
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
     for t in &report.terms {
         assert!(
             !w.reduced_ontology.contains_term(&t.surface),

@@ -17,7 +17,7 @@ fn poly_world() -> World {
         abstracts_per_concept: 5,
         n_shared_synonyms: 10,
         n_ambiguous_new: 6,
-        seed: 0xAB1E,
+        seed: 42,
         ..Default::default()
     })
 }

@@ -1,0 +1,150 @@
+//! Adversarial inputs: the pipeline must return typed errors or degraded
+//! reports — never panic — on empty, degenerate or inconsistent input.
+
+use bio_onto_enrich::corpus::corpus::{Corpus, CorpusBuilder};
+use bio_onto_enrich::ontology::{Ontology, OntologyBuilder};
+use bio_onto_enrich::textkit::Language;
+use bio_onto_enrich::workflow::error::EnrichError;
+use bio_onto_enrich::workflow::senses::{SenseInducer, SenseInducerConfig};
+use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+
+fn small_ontology(lang: Language) -> Ontology {
+    let mut ob = OntologyBuilder::new("t", lang);
+    let eye = ob.add_concept("eye diseases", vec![]);
+    let cd = ob.add_concept("corneal diseases", vec!["keratitis".to_owned()]);
+    ob.add_is_a(cd, eye);
+    ob.build().expect("valid")
+}
+
+fn small_corpus(lang: Language) -> Corpus {
+    let mut cb = CorpusBuilder::new(lang);
+    for _ in 0..3 {
+        cb.add_text("corneal injuries resemble corneal diseases of the epithelium stroma.");
+        cb.add_text("keratitis damages the epithelium stroma tissue.");
+        cb.add_text("eye diseases involve the retina nerve.");
+    }
+    cb.build()
+}
+
+fn pipeline() -> EnrichmentPipeline {
+    EnrichmentPipeline::new(PipelineConfig::default())
+}
+
+#[test]
+fn empty_corpus_is_rejected_with_a_typed_error() {
+    let corpus = CorpusBuilder::new(Language::English).build();
+    let onto = small_ontology(Language::English);
+    let err = pipeline().run(&corpus, &onto).expect_err("must fail");
+    assert!(matches!(err, EnrichError::EmptyCorpus), "{err:?}");
+    assert_eq!(err.exit_code(), 3);
+}
+
+#[test]
+fn empty_ontology_is_rejected_with_a_typed_error() {
+    let corpus = small_corpus(Language::English);
+    let onto = OntologyBuilder::new("empty", Language::English)
+        .build()
+        .expect("an empty ontology builds");
+    let err = pipeline().run(&corpus, &onto).expect_err("must fail");
+    assert!(matches!(err, EnrichError::EmptyOntology), "{err:?}");
+}
+
+#[test]
+fn one_document_corpus_degrades_with_a_warning() {
+    let mut cb = CorpusBuilder::new(Language::English);
+    cb.add_text(
+        "corneal injuries resemble corneal diseases of the epithelium stroma. \
+         keratitis damages the epithelium stroma tissue.",
+    );
+    let corpus = cb.build();
+    let onto = small_ontology(Language::English);
+    let report = pipeline().run(&corpus, &onto).expect("usable input");
+    assert!(report.is_degraded());
+    assert!(
+        report
+            .diagnostics
+            .warnings
+            .iter()
+            .any(|w| w.contains("single-document")),
+        "{:?}",
+        report.diagnostics.warnings
+    );
+}
+
+#[test]
+fn language_mismatch_is_rejected_with_both_languages_named() {
+    let corpus = small_corpus(Language::English);
+    let onto = small_ontology(Language::French);
+    let err = pipeline().run(&corpus, &onto).expect_err("must fail");
+    match err {
+        EnrichError::LanguageMismatch {
+            corpus: c,
+            ontology: o,
+        } => {
+            assert_eq!(c, Language::English);
+            assert_eq!(o, Language::French);
+        }
+        other => panic!("expected LanguageMismatch, got {other:?}"),
+    }
+    assert_eq!(
+        pipeline()
+            .run(&corpus, &small_ontology(Language::French))
+            .expect_err("must fail")
+            .exit_code(),
+        4
+    );
+}
+
+#[test]
+fn term_absent_from_vocabulary_never_panics() {
+    let corpus = small_corpus(Language::English);
+    assert!(corpus.phrase_ids("nonexistent term").is_none());
+    // A phrase of known tokens that never occur adjacently: sense
+    // induction must degrade to a single empty sense, not panic.
+    let a = corpus.vocab().get("retina").expect("known");
+    let b = corpus.vocab().get("keratitis").expect("known");
+    let inducer = SenseInducer::new(&corpus, SenseInducerConfig::default());
+    let senses = inducer.induce(&[a, b], true);
+    assert_eq!(senses.k, 1);
+    assert!(senses.concepts.is_empty());
+}
+
+#[test]
+fn single_concept_ontology_degrades_with_a_warning() {
+    let mut ob = OntologyBuilder::new("solo", Language::English);
+    ob.add_concept("corneal diseases", vec![]);
+    let onto = ob.build().expect("valid");
+    let corpus = small_corpus(Language::English);
+    let report = pipeline().run(&corpus, &onto).expect("usable input");
+    assert!(
+        report
+            .diagnostics
+            .warnings
+            .iter()
+            .any(|w| w.contains("single-concept")),
+        "{:?}",
+        report.diagnostics.warnings
+    );
+    // The run still analyses candidates; linkage just has little to say.
+    for t in &report.terms {
+        assert!((1..=5).contains(&t.senses.k));
+    }
+}
+
+#[test]
+fn degradations_always_carry_a_reason() {
+    // Whatever gets degraded across these adversarial runs, the record
+    // must say which term, which stage, and why.
+    let corpus = small_corpus(Language::English);
+    let onto = small_ontology(Language::English);
+    let report = pipeline().run(&corpus, &onto).expect("usable input");
+    for d in &report.diagnostics.degraded {
+        assert!(!d.term.is_empty());
+        assert!(!d.reason.is_empty());
+    }
+    // Detector outcome is always recorded on a completed run.
+    assert_ne!(
+        report.diagnostics.detector,
+        bio_onto_enrich::workflow::diagnostics::DetectorOutcome::NotAttempted
+    );
+}
