@@ -1,0 +1,212 @@
+//! `perf_report` — machine-readable wall-time report for the Step III–IV
+//! hot paths, written as `BENCH_2.json`.
+//!
+//! Measures, over a synthetic PubMed-like world:
+//!
+//! - `steps_iii_iv` — the pipeline's per-term Step III (sense induction)
+//!   + Step IV (semantic linkage) fan-out, at several thread counts;
+//! - `inventory_build` — the Step IV ontology-term inventory scan, at
+//!   the same thread counts;
+//! - `linkage_naive` vs `linkage_inverted` — the brute-force cosine scan
+//!   against the inverted-index top-k scorer (single-threaded: this win
+//!   is algorithmic, not parallel).
+//!
+//! Usage: `perf_report [--smoke] [--out PATH]`. `--smoke` shrinks the
+//! world and the thread sweep so CI can afford the run; the JSON then
+//! carries `"smoke": true` so readers don't compare across scales.
+//! Thread-scaling numbers are only meaningful when the host grants the
+//! process enough cores — `threads_available` records what it granted.
+
+use boe_bench::harness::PerfReport;
+use boe_core::linkage::{LinkerConfig, SemanticLinker};
+use boe_core::senses::{SenseInducer, SenseInducerConfig};
+use boe_corpus::context::{aggregate_context, ContextOptions, ContextScope, StemMap};
+use boe_corpus::SparseVector;
+use boe_eval::world::{World, WorldConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-`runs` wall time of `f`, in milliseconds.
+fn time_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_2.json".to_owned());
+
+    let cfg = if smoke {
+        WorldConfig {
+            n_concepts: 40,
+            n_holdout: 8,
+            abstracts_per_concept: 3,
+            seed: 0xBE2C,
+            ..Default::default()
+        }
+    } else {
+        WorldConfig {
+            n_concepts: 150,
+            n_holdout: 40,
+            abstracts_per_concept: 5,
+            seed: 0xBE2C,
+            ..Default::default()
+        }
+    };
+    let runs = if smoke { 1 } else { 3 };
+    let w = World::generate(&cfg);
+    let corpus = &w.corpus;
+    let onto = &w.reduced_ontology;
+
+    // The per-term workload: held-out terms actually present in the
+    // corpus (same population the pipeline fan-out sees).
+    let candidates: Vec<String> = w
+        .holdout
+        .iter()
+        .map(|h| h.surface.clone())
+        .filter(|s| corpus.phrase_ids(s).is_some())
+        .collect();
+
+    let mut report = PerfReport::new("BENCH_2");
+    report.set_bool("smoke", smoke);
+    report.set_num(
+        "threads_available",
+        std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
+    );
+    report.set_num("corpus_documents", corpus.len() as f64);
+    report.set_num("corpus_tokens", corpus.token_count() as f64);
+    report.set_num("candidate_terms", candidates.len() as f64);
+
+    let inducer = SenseInducer::new(corpus, SenseInducerConfig::default());
+    let linker = SemanticLinker::new(corpus, onto, LinkerConfig::default());
+
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    for &t in thread_counts {
+        boe_par::set_threads(Some(t));
+
+        // The pipeline's Step III+IV per-term fan-out.
+        let wall = time_ms(runs, || {
+            let res = boe_par::par_map(&candidates, |s| {
+                let tokens = corpus.phrase_ids(s).expect("filtered above");
+                let senses = inducer.induce(&tokens, true);
+                let props = linker.propose(s);
+                (senses.k, props.len())
+            });
+            black_box(res);
+        });
+        report.record("steps_iii_iv", t, wall, runs);
+
+        // Step IV inventory build (per-ontology-term corpus scans).
+        let wall = time_ms(runs, || {
+            let l = SemanticLinker::new(corpus, onto, LinkerConfig::default());
+            black_box(l.inventory().len());
+        });
+        report.record("inventory_build", t, wall, runs);
+    }
+
+    // Step IV end-to-end proposal, old vs new scorer, single-threaded.
+    // Both paths share the context-gathering front half, so this mostly
+    // bounds the regression risk; the isolated kernels below show the
+    // scorer itself.
+    boe_par::set_threads(Some(1));
+    let wall_naive = time_ms(runs, || {
+        for s in &candidates {
+            black_box(linker.propose_naive(s).len());
+        }
+    });
+    let wall_inverted = time_ms(runs, || {
+        for s in &candidates {
+            black_box(linker.propose(s).len());
+        }
+    });
+    report.record("linkage_naive", 1, wall_naive, runs);
+    report.record("linkage_inverted", 1, wall_inverted, runs);
+
+    // Isolated Step IV scoring kernel: each candidate context against
+    // the *entire* term inventory — brute-force merge joins vs the
+    // inverted-index accumulator.
+    let stems = StemMap::build(corpus);
+    let opts = ContextOptions {
+        window: None,
+        stemmed: true,
+        scope: ContextScope::Document,
+    };
+    let contexts: Vec<SparseVector> = candidates
+        .iter()
+        .map(|s| {
+            let tokens = corpus.phrase_ids(s).expect("filtered above");
+            aggregate_context(corpus, &tokens, opts, Some(&stems))
+        })
+        .collect();
+    let inv = linker.inventory();
+    let all: Vec<usize> = (0..inv.len()).collect();
+    let kernel_runs = runs.max(3);
+    let wall_score_naive = time_ms(kernel_runs, || {
+        for ctx in &contexts {
+            let mut acc = 0.0;
+            for t in inv.terms() {
+                acc += ctx.cosine(&t.context);
+            }
+            black_box(acc);
+        }
+    });
+    let wall_score_inverted = time_ms(kernel_runs, || {
+        for ctx in &contexts {
+            black_box(inv.cosines_against(ctx, &all));
+        }
+    });
+    report.record("score_kernel_naive", 1, wall_score_naive, kernel_runs);
+    report.record("score_kernel_inverted", 1, wall_score_inverted, kernel_runs);
+
+    // Step III kernel: the flat similarity matrix over the candidate
+    // contexts (unit-normalized), at each thread count.
+    let unit: Vec<SparseVector> = inv.terms().iter().map(|t| t.context.normalized()).collect();
+    for &t in thread_counts {
+        boe_par::set_threads(Some(t));
+        let wall = time_ms(kernel_runs, || {
+            black_box(boe_cluster::similarity::similarity_matrix(&unit));
+        });
+        report.record("similarity_matrix", t, wall, kernel_runs);
+    }
+    boe_par::set_threads(None);
+
+    for &t in thread_counts.iter().filter(|&&t| t > 1) {
+        if let Some(s) = report.speedup("steps_iii_iv", 1, t) {
+            report.set_num(&format!("speedup_steps_iii_iv_{t}t"), s);
+        }
+        if let Some(s) = report.speedup("inventory_build", 1, t) {
+            report.set_num(&format!("speedup_inventory_build_{t}t"), s);
+        }
+        if let Some(s) = report.speedup("similarity_matrix", 1, t) {
+            report.set_num(&format!("speedup_similarity_matrix_{t}t"), s);
+        }
+    }
+    if wall_inverted > 0.0 {
+        report.set_num(
+            "speedup_linkage_inverted_vs_naive",
+            wall_naive / wall_inverted,
+        );
+    }
+    if wall_score_inverted > 0.0 {
+        report.set_num(
+            "speedup_score_kernel_inverted_vs_naive",
+            wall_score_naive / wall_score_inverted,
+        );
+    }
+
+    let path = std::path::Path::new(&out_path);
+    report.write(path).expect("write perf report");
+    print!("{}", report.to_json());
+    eprintln!("perf report written to {}", path.display());
+}

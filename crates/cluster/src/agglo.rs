@@ -26,16 +26,17 @@ pub fn upgma(unit: &[SparseVector], k: usize) -> ClusterSolution {
         // Most similar active pair (lowest indices win ties).
         let mut best = None;
         let mut best_s = f64::NEG_INFINITY;
-        for i in 0..n {
-            if !active[i] {
+        for (i, &ai) in active.iter().enumerate() {
+            if !ai {
                 continue;
             }
-            for j in (i + 1)..n {
-                if !active[j] {
+            for (j, &aj) in active.iter().enumerate().skip(i + 1) {
+                if !aj {
                     continue;
                 }
-                if sim[i][j] > best_s {
-                    best_s = sim[i][j];
+                let s = sim.get(i, j);
+                if s > best_s {
+                    best_s = s;
                     best = Some((i, j));
                 }
             }
@@ -44,13 +45,12 @@ pub fn upgma(unit: &[SparseVector], k: usize) -> ClusterSolution {
         // Lance–Williams average linkage: s(a∪b, x) =
         // (|a| s(a,x) + |b| s(b,x)) / (|a| + |b|).
         let (na, nb) = (size[a] as f64, size[b] as f64);
-        for x in 0..n {
-            if !active[x] || x == a || x == b {
+        for (x, &ax) in active.iter().enumerate() {
+            if !ax || x == a || x == b {
                 continue;
             }
-            let merged = (na * sim[a][x] + nb * sim[b][x]) / (na + nb);
-            sim[a][x] = merged;
-            sim[x][a] = merged;
+            let merged = (na * sim.get(a, x) + nb * sim.get(b, x)) / (na + nb);
+            sim.set_sym(a, x, merged);
         }
         active[b] = false;
         size[a] += size[b];

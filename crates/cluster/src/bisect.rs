@@ -79,23 +79,22 @@ fn refine_kway(unit: &[SparseVector], start: ClusterSolution) -> ClusterSolution
             comps[a].add_assign(v);
         }
         let centroids: Vec<SparseVector> = comps.into_iter().map(|c| c.normalized()).collect();
-        let mut changed = false;
-        let mut next = assignments.clone();
-        for i in 0..n {
-            let mut best = assignments[i];
-            let mut best_s = f64::NEG_INFINITY;
-            for (c, cent) in centroids.iter().enumerate() {
-                let s = unit[i].dot(cent);
-                if s > best_s {
-                    best_s = s;
-                    best = c;
+        // Per-object re-assignment is independent → chunked across
+        // threads for large collections, identical to the serial scan.
+        let next: Vec<usize> =
+            boe_par::par_map_indexed_min(n, crate::kmeans::PAR_ASSIGN_MIN, |i| {
+                let mut best = assignments[i];
+                let mut best_s = f64::NEG_INFINITY;
+                for (c, cent) in centroids.iter().enumerate() {
+                    let s = unit[i].dot(cent);
+                    if s > best_s {
+                        best_s = s;
+                        best = c;
+                    }
                 }
-            }
-            if best != assignments[i] {
-                next[i] = best;
-                changed = true;
-            }
-        }
+                best
+            });
+        let changed = next != assignments;
         // Reject refinement steps that empty a cluster (rbr must keep k).
         let mut sizes = vec![0usize; k];
         for &a in &next {

@@ -20,17 +20,24 @@ pub fn knn_graph_partition(unit: &[SparseVector], k: usize, neighbours: usize) -
         return ClusterSolution::new((0..n).collect(), n);
     }
     let m = neighbours.min(n.saturating_sub(1)).max(1);
+    // Pairwise similarities once (flat, parallel, each dot computed a
+    // single time), then per-object kNN lists in parallel.
+    let sim = crate::similarity::similarity_matrix(unit);
+    let knn: Vec<Vec<(usize, f64)>> = boe_par::par_map_indexed_min(n, 32, |i| {
+        let mut sims: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, sim.get(i, j)))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        sims.truncate(m);
+        sims
+    });
     // kNN edges (directed), symmetrized by union, as dense matrices of
     // inter-cluster edge weight totals and edge counts.
     let mut weight = vec![vec![0.0f64; n]; n];
     let mut count = vec![vec![0u32; n]; n];
-    for i in 0..n {
-        let mut sims: Vec<(usize, f64)> = (0..n)
-            .filter(|&j| j != i)
-            .map(|j| (j, unit[i].dot(&unit[j])))
-            .collect();
-        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        for &(j, s) in sims.iter().take(m) {
+    for (i, sims) in knn.iter().enumerate() {
+        for &(j, s) in sims {
             if s > 0.0 && count[i][j] == 0 {
                 weight[i][j] = s;
                 weight[j][i] = s;

@@ -165,17 +165,22 @@ impl std::fmt::Display for InternalIndex {
 
 /// Mean silhouette coefficient with cosine distance `1 − cos`.
 /// Singleton clusters contribute 0 (standard convention).
+///
+/// Per-object contributions are independent given the pairwise
+/// similarities, so they are computed in parallel over a shared
+/// [`crate::similarity::SimMatrix`] and summed serially in index order —
+/// the result is bit-identical at any thread count.
 fn silhouette(solution: &ClusterSolution, unit: &[SparseVector]) -> f64 {
     let n = unit.len();
     if n == 0 || solution.k() < 2 {
         return 0.0;
     }
     let sizes = solution.sizes();
-    let mut total = 0.0;
-    for i in 0..n {
+    let sim = crate::similarity::similarity_matrix(unit);
+    let contributions: Vec<f64> = boe_par::par_map_indexed_min(n, 64, |i| {
         let own = solution.assignment(i);
         if sizes[own] < 2 {
-            continue; // silhouette of a singleton is 0
+            return 0.0; // silhouette of a singleton is 0
         }
         // Mean distance to own cluster (excluding self) and to the nearest
         // other cluster.
@@ -184,7 +189,7 @@ fn silhouette(solution: &ClusterSolution, unit: &[SparseVector]) -> f64 {
             if i == j {
                 continue;
             }
-            sums[solution.assignment(j)] += 1.0 - unit[i].dot(&unit[j]);
+            sums[solution.assignment(j)] += 1.0 - sim.get(i, j);
         }
         let a = sums[own] / (sizes[own] - 1) as f64;
         let b = (0..solution.k())
@@ -192,10 +197,12 @@ fn silhouette(solution: &ClusterSolution, unit: &[SparseVector]) -> f64 {
             .map(|c| sums[c] / sizes[c] as f64)
             .fold(f64::INFINITY, f64::min);
         if b.is_finite() {
-            total += (b - a) / a.max(b).max(1e-12);
+            (b - a) / a.max(b).max(1e-12)
+        } else {
+            0.0
         }
-    }
-    total / n as f64
+    });
+    contributions.into_iter().sum::<f64>() / n as f64
 }
 
 /// Calinski–Harabasz pseudo-F over unit vectors, computed from composite

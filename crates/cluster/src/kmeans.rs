@@ -10,6 +10,9 @@ use boe_rng::StdRng;
 
 const MAX_ITERS: usize = 100;
 
+/// Objects below which assignment stays serial (thread spawn ≫ work).
+pub(crate) const PAR_ASSIGN_MIN: usize = 512;
+
 /// Cluster unit-normalized `vectors` into `k` clusters.
 ///
 /// Callers reach this through [`crate::Algorithm::cluster`], which
@@ -70,22 +73,24 @@ fn farthest_first_seeds(unit: &[SparseVector], k: usize, rng: &mut StdRng) -> Ve
 }
 
 /// Assign each object to its most similar centroid (lowest index wins
-/// ties).
+/// ties). Each object's choice is independent, so the loop is chunked
+/// across threads for large collections (results are in input order and
+/// identical to the serial scan; below the threshold no threads spawn —
+/// Step-III context sets are usually small and a spawn would cost more
+/// than the dots).
 fn assign(unit: &[SparseVector], centroids: &[SparseVector]) -> Vec<usize> {
-    unit.iter()
-        .map(|v| {
-            let mut best = 0usize;
-            let mut best_s = f64::NEG_INFINITY;
-            for (c, cent) in centroids.iter().enumerate() {
-                let s = v.dot(cent);
-                if s > best_s {
-                    best_s = s;
-                    best = c;
-                }
+    boe_par::par_map_min(unit, PAR_ASSIGN_MIN, |v| {
+        let mut best = 0usize;
+        let mut best_s = f64::NEG_INFINITY;
+        for (c, cent) in centroids.iter().enumerate() {
+            let s = v.dot(cent);
+            if s > best_s {
+                best_s = s;
+                best = c;
             }
-            best
-        })
-        .collect()
+        }
+        best
+    })
 }
 
 fn recompute_centroids(

@@ -8,17 +8,67 @@
 
 use boe_corpus::SparseVector;
 
+/// A dense symmetric similarity matrix in one flat row-major buffer —
+/// one allocation instead of `n` heap rows, cache-friendly row scans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SimMatrix {
+    /// An n×n matrix of zeros.
+    pub fn zeros(n: usize) -> Self {
+        SimMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set entry `(i, j)` (one triangle only; use [`Self::set_sym`] to
+    /// keep the matrix symmetric).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Set entries `(i, j)` and `(j, i)`.
+    #[inline]
+    pub fn set_sym(&mut self, i: usize, j: usize, v: f64) {
+        self.set(i, j, v);
+        self.set(j, i, v);
+    }
+
+    /// Row `i` as a contiguous slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+}
+
 /// Full pairwise cosine matrix (n×n, symmetric, diagonal = 1 for nonzero
-/// vectors).
-pub fn similarity_matrix(unit: &[SparseVector]) -> Vec<Vec<f64>> {
+/// vectors). Upper-triangle rows are computed in parallel (deterministic:
+/// each entry is an independent dot product).
+pub fn similarity_matrix(unit: &[SparseVector]) -> SimMatrix {
     let n = unit.len();
-    let mut m = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        m[i][i] = if unit[i].is_empty() { 0.0 } else { 1.0 };
-        for j in (i + 1)..n {
-            let s = unit[i].dot(&unit[j]);
-            m[i][j] = s;
-            m[j][i] = s;
+    let rows: Vec<Vec<f64>> = boe_par::par_map_indexed_min(n, 32, |i| {
+        ((i + 1)..n).map(|j| unit[i].dot(&unit[j])).collect()
+    });
+    let mut m = SimMatrix::zeros(n);
+    for (i, row) in rows.iter().enumerate() {
+        m.set(i, i, if unit[i].is_empty() { 0.0 } else { 1.0 });
+        for (off, &s) in row.iter().enumerate() {
+            m.set_sym(i, i + 1 + off, s);
         }
     }
     m
@@ -59,13 +109,35 @@ mod tests {
             unit(&[(1, 1.0)]),
         ];
         let m = similarity_matrix(&vs);
-        for (i, row) in m.iter().enumerate() {
-            assert!((row[i] - 1.0).abs() < 1e-12);
-            for (j, &v) in row.iter().enumerate() {
-                assert!((v - m[j][i]).abs() < 1e-12);
+        assert_eq!(m.n(), 3);
+        for i in 0..m.n() {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+            for (j, &v) in m.row(i).iter().enumerate() {
+                assert!((v - m.get(j, i)).abs() < 1e-12);
             }
         }
-        assert!(m[0][1] > 0.0 && m[0][2].abs() < 1e-12);
+        assert!(m.get(0, 1) > 0.0 && m.get(0, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_identical_at_any_thread_count() {
+        let vs: Vec<SparseVector> = (0..40u32)
+            .map(|i| unit(&[(i % 7, 1.0 + f64::from(i)), (i % 3, 0.5)]))
+            .collect();
+        boe_par::set_threads(Some(1));
+        let serial = similarity_matrix(&vs);
+        boe_par::set_threads(Some(8));
+        let parallel = similarity_matrix(&vs);
+        boe_par::set_threads(None);
+        assert_eq!(serial, parallel, "bit-identical across thread counts");
+    }
+
+    #[test]
+    fn zero_vector_has_zero_diagonal() {
+        let vs = vec![unit(&[(0, 1.0)]), SparseVector::new()];
+        let m = similarity_matrix(&vs);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(0, 1), 0.0);
     }
 
     #[test]

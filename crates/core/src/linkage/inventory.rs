@@ -35,6 +35,11 @@ pub struct OntologyTermInventory {
     presence: Vec<Vec<(u32, u32)>>,
     /// Normalized key → term index.
     by_key: HashMap<String, usize>,
+    /// Inverted index over context dimensions: dim → `(term index,
+    /// value)` posting list, term indices ascending. Lets Step IV score
+    /// a query context against many term contexts by walking only the
+    /// query's dimensions instead of merge-joining every pair.
+    postings: HashMap<u32, Vec<(u32, f64)>>,
 }
 
 impl OntologyTermInventory {
@@ -89,19 +94,28 @@ impl OntologyTermInventory {
             }
         }
         surfaces.sort_by(|a, b| a.1.cmp(&b.1));
-        for (surface, key, concepts) in surfaces {
-            let Some(tokens) = corpus.phrase_ids(&surface) else {
-                continue;
-            };
+        // Each surface is scanned for occurrences and context
+        // independently, so the scans fan out across threads; results
+        // come back in surface (key) order, making the assembly below —
+        // and therefore term indices and posting lists — identical to
+        // the serial build at any thread count.
+        let scanned = boe_par::par_map(&surfaces, |(surface, _, _)| {
+            let tokens = corpus.phrase_ids(surface)?;
             let occs = find_occurrences(corpus, &tokens);
             if occs.is_empty() {
-                continue;
+                return None;
             }
             let context = aggregate_context(corpus, &tokens, opts, Some(stems));
             let mut pres: Vec<(u32, u32)> =
                 occs.iter().map(|o| (o.doc.0, o.sentence as u32)).collect();
             pres.sort_unstable();
             pres.dedup();
+            Some((tokens, occs.len() as u32, context, pres))
+        });
+        for ((surface, key, concepts), scan) in surfaces.into_iter().zip(scanned) {
+            let Some((tokens, freq, context, pres)) = scan else {
+                continue;
+            };
             by_key.insert(key.clone(), terms.len());
             presence.push(pres);
             terms.push(LinkedTerm {
@@ -109,15 +123,65 @@ impl OntologyTermInventory {
                 key,
                 tokens,
                 concepts,
-                freq: occs.len() as u32,
+                freq,
                 context,
             });
+        }
+        let mut postings: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+        for (i, t) in terms.iter().enumerate() {
+            for (dim, v) in t.context.iter() {
+                postings.entry(dim).or_default().push((i as u32, v));
+            }
         }
         OntologyTermInventory {
             terms,
             presence,
             by_key,
+            postings,
         }
+    }
+
+    /// Cosine of `query` against the context of each term in `targets`
+    /// (same order), computed through the inverted index: for every
+    /// query dimension, its posting list is walked and `query_value ×
+    /// term_value` is accumulated into the slot of any listed target.
+    ///
+    /// Query dimensions are visited in ascending order, so each target's
+    /// products accumulate in exactly the order of
+    /// [`SparseVector::dot`]'s merge join — with the same
+    /// norm-denominator and clamp, the result is bit-identical to
+    /// `query.cosine(&term.context)`, only without touching the
+    /// dimensions of untargeted terms.
+    pub fn cosines_against(&self, query: &SparseVector, targets: &[usize]) -> Vec<f64> {
+        const NO_SLOT: u32 = u32::MAX;
+        let mut slot = vec![NO_SLOT; self.terms.len()];
+        for (s, &t) in targets.iter().enumerate() {
+            slot[t] = s as u32;
+        }
+        let mut dots = vec![0.0f64; targets.len()];
+        for (dim, qv) in query.iter() {
+            let Some(list) = self.postings.get(&dim) else {
+                continue;
+            };
+            for &(ti, tv) in list {
+                let s = slot[ti as usize];
+                if s != NO_SLOT {
+                    dots[s as usize] += qv * tv;
+                }
+            }
+        }
+        targets
+            .iter()
+            .zip(dots)
+            .map(|(&t, dot)| {
+                let denom = query.norm() * self.terms[t].context.norm();
+                if denom == 0.0 {
+                    0.0
+                } else {
+                    (dot / denom).clamp(-1.0, 1.0)
+                }
+            })
+            .collect()
     }
 
     /// All linked terms.
@@ -220,6 +284,29 @@ mod tests {
             .collect();
         assert_eq!(surfaces, vec!["corneal diseases"]);
         assert!(inv.cooccurring(&[(9, 9)]).is_empty());
+    }
+
+    #[test]
+    fn inverted_index_cosines_are_bit_identical() {
+        let (c, o) = world();
+        let stems = StemMap::build(&c);
+        let inv = OntologyTermInventory::build(&c, &o, &stems);
+        // Query with a context that overlaps some terms but not others.
+        let query = inv.get("corneal diseases").expect("linked").context.clone();
+        let all: Vec<usize> = (0..inv.len()).collect();
+        let fast = inv.cosines_against(&query, &all);
+        for (&i, f) in all.iter().zip(&fast) {
+            let naive = query.cosine(&inv.terms()[i].context);
+            assert_eq!(f.to_bits(), naive.to_bits(), "term {i}");
+        }
+        // A masked subset only scores the listed targets, in order.
+        let subset = vec![2usize, 0];
+        let masked = inv.cosines_against(&query, &subset);
+        assert_eq!(masked[0].to_bits(), fast[2].to_bits());
+        assert_eq!(masked[1].to_bits(), fast[0].to_bits());
+        // Empty query → all zeros (cosine's zero-vector guard).
+        let zeros = inv.cosines_against(&SparseVector::new(), &all);
+        assert!(zeros.iter().all(|&z| z == 0.0));
     }
 
     #[test]

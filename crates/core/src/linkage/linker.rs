@@ -70,6 +70,15 @@ impl Default for LinkerConfig {
     }
 }
 
+/// The shared front half of a proposal: the candidate's aggregate
+/// context, its match key, and the candidate positions in ascending
+/// inventory-index order.
+struct GatheredPositions {
+    context: boe_corpus::SparseVector,
+    key: String,
+    targets: Vec<(usize, PositionOrigin)>,
+}
+
 /// Step-IV semantic linker bound to one corpus + ontology.
 #[derive(Debug)]
 pub struct SemanticLinker<'c> {
@@ -120,13 +129,44 @@ impl<'c> SemanticLinker<'c> {
     /// Propose positions for a candidate term given as a surface string.
     /// Returns an empty list when the candidate does not occur in the
     /// corpus.
+    ///
+    /// Position contexts are scored through the inventory's inverted
+    /// index ([`OntologyTermInventory::cosines_against`]); the result is
+    /// bit-identical to the brute-force scan kept as
+    /// [`SemanticLinker::propose_naive`].
     pub fn propose(&self, candidate: &str) -> Vec<Proposition> {
-        let Some(tokens) = self.corpus.phrase_ids(candidate) else {
+        let Some(g) = self.gather_positions(candidate) else {
             return Vec::new();
         };
+        let indices: Vec<usize> = g.targets.iter().map(|&(i, _)| i).collect();
+        let cosines = self.inventory.cosines_against(&g.context, &indices);
+        self.rank(&g.key, g.targets, cosines)
+    }
+
+    /// [`SemanticLinker::propose`] with the original brute-force cosine
+    /// scan (one merge join per position). Kept as the reference
+    /// implementation the inverted-index path is verified against.
+    pub fn propose_naive(&self, candidate: &str) -> Vec<Proposition> {
+        let Some(g) = self.gather_positions(candidate) else {
+            return Vec::new();
+        };
+        let cosines: Vec<f64> = g
+            .targets
+            .iter()
+            .map(|&(i, _)| g.context.cosine(&self.inventory.terms()[i].context))
+            .collect();
+        self.rank(&g.key, g.targets, cosines)
+    }
+
+    /// Shared front half of both proposal paths: the candidate's
+    /// aggregate context, its match key, and the candidate positions
+    /// (inventory index + origin, ascending index order). `None` when
+    /// the candidate does not occur in the corpus.
+    fn gather_positions(&self, candidate: &str) -> Option<GatheredPositions> {
+        let tokens = self.corpus.phrase_ids(candidate)?;
         let occs = find_occurrences(self.corpus, &tokens);
         if occs.is_empty() {
-            return Vec::new();
+            return None;
         }
         let opts = ContextOptions {
             window: None,
@@ -171,16 +211,33 @@ impl<'c> SemanticLinker<'c> {
                 }
             }
         }
+        let mut targets: Vec<(usize, PositionOrigin)> = positions.into_iter().collect();
+        targets.sort_unstable_by_key(|&(i, _)| i);
+        Some(GatheredPositions {
+            context: candidate_ctx,
+            key: candidate_key,
+            targets,
+        })
+    }
 
-        // (3) Cosine ranking.
-        let mut props: Vec<Proposition> = positions
+    /// Shared back half of both proposal paths: build, filter, rank and
+    /// truncate the propositions given per-target cosines (aligned with
+    /// `targets`).
+    fn rank(
+        &self,
+        candidate_key: &str,
+        targets: Vec<(usize, PositionOrigin)>,
+        cosines: Vec<f64>,
+    ) -> Vec<Proposition> {
+        let mut props: Vec<Proposition> = targets
             .into_iter()
-            .map(|(i, origin)| {
+            .zip(cosines)
+            .map(|((i, origin), cosine)| {
                 let t = &self.inventory.terms()[i];
                 Proposition {
                     term: t.surface.clone(),
                     concepts: t.concepts.clone(),
-                    cosine: candidate_ctx.cosine(&t.context),
+                    cosine,
                     origin,
                 }
             })
@@ -333,6 +390,40 @@ mod tests {
         // The candidate itself was passed as an extra but must never be
         // proposed as its own position.
         assert!(props.iter().all(|p| p.term != "corneal injuries"));
+    }
+
+    #[test]
+    fn inverted_index_matches_naive_scan_exactly() {
+        let (c, o) = world();
+        for expand_hierarchy in [true, false] {
+            let linker = SemanticLinker::with_candidates(
+                &c,
+                &o,
+                LinkerConfig {
+                    expand_hierarchy,
+                    ..Default::default()
+                },
+                &["epithelium".to_owned(), "stroma".to_owned()],
+            );
+            for candidate in ["corneal injuries", "epithelium", "nonexistent term"] {
+                let fast = linker.propose(candidate);
+                let naive = linker.propose_naive(candidate);
+                assert_eq!(fast.len(), naive.len(), "{candidate}");
+                for (f, n) in fast.iter().zip(&naive) {
+                    assert_eq!(f.term, n.term, "{candidate}");
+                    assert_eq!(f.concepts, n.concepts);
+                    assert_eq!(f.origin, n.origin);
+                    assert_eq!(
+                        f.cosine.to_bits(),
+                        n.cosine.to_bits(),
+                        "{candidate} / {}: {} vs {}",
+                        f.term,
+                        f.cosine,
+                        n.cosine
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! omitted) and records the reason in [`RunDiagnostics`] instead of
 //! aborting the whole run.
 
-use crate::diagnostics::{DetectorOutcome, RunDiagnostics, StageTiming};
+use crate::diagnostics::{Degradation, DetectorOutcome, RunDiagnostics, StageTiming};
 use crate::error::{EnrichError, Stage};
 use crate::linkage::{LinkerConfig, SemanticLinker};
 use crate::polysemy::detector::{FeatureContext, PolysemyDetector, PolysemyModel};
@@ -26,7 +26,7 @@ use crate::termex::{TermExtractor, TermMeasure};
 use boe_corpus::Corpus;
 use boe_ontology::Ontology;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -128,22 +128,29 @@ impl EnrichmentPipeline {
         let linker = SemanticLinker::new(corpus, ontology, self.config.linker);
         let mut link_time = t0.elapsed();
 
-        let mut terms = Vec::with_capacity(new_terms.len());
-        for r in new_terms {
+        // Steps II–IV fan out across candidate terms: each term is
+        // independent given the trained detector, the inducer and the
+        // linker, so the per-term work is chunked across threads
+        // (`boe-par`). Determinism contract: outcomes come back in term
+        // order, so reports, degradations (term order, stage order within
+        // a term) and timing sums are identical to the serial loop at any
+        // thread count.
+        let outcomes: Vec<TermOutcome> = boe_par::par_map(&new_terms, |r| {
+            let mut out = TermOutcome::default();
             let Some(tokens) = corpus.phrase_ids(&r.surface) else {
-                diag.degrade(
-                    r.surface.clone(),
-                    Stage::TermExtraction,
-                    "candidate tokens missing from the corpus vocabulary",
-                );
-                continue;
+                out.degraded.push(Degradation {
+                    term: r.surface.clone(),
+                    stage: Stage::TermExtraction,
+                    reason: "candidate tokens missing from the corpus vocabulary".to_owned(),
+                });
+                return out;
             };
 
             // Step II: classify; a failure falls back to the monosemic
             // majority prior.
             let t0 = Instant::now();
-            let polysemic = guarded(
-                &mut diag,
+            let polysemic = guarded_term(
+                &mut out.degraded,
                 Stage::PolysemyDetection,
                 &r.surface,
                 || match &detector {
@@ -152,12 +159,12 @@ impl EnrichmentPipeline {
                 },
                 || false,
             );
-            detect_time += t0.elapsed();
+            out.detect = t0.elapsed();
 
             // Step III: a failure downgrades to a single omitted sense.
             let t0 = Instant::now();
-            let senses = guarded(
-                &mut diag,
+            let senses = guarded_term(
+                &mut out.degraded,
                 Stage::SenseInduction,
                 &r.surface,
                 || inducer.induce(&tokens, polysemic),
@@ -167,26 +174,36 @@ impl EnrichmentPipeline {
                     assignments: Vec::new(),
                 },
             );
-            induce_time += t0.elapsed();
+            out.induce = t0.elapsed();
 
             // Step IV: a failure omits the propositions.
             let t0 = Instant::now();
-            let propositions = guarded(
-                &mut diag,
+            let propositions = guarded_term(
+                &mut out.degraded,
                 Stage::SemanticLinkage,
                 &r.surface,
                 || linker.propose(&r.surface),
                 Vec::new,
             );
-            link_time += t0.elapsed();
+            out.link = t0.elapsed();
 
-            terms.push(TermReport {
-                surface: r.surface,
+            out.report = Some(TermReport {
+                surface: r.surface.clone(),
                 term_score: r.score,
                 polysemic,
                 senses,
                 propositions,
             });
+            out
+        });
+
+        let mut terms = Vec::with_capacity(new_terms.len());
+        for o in outcomes {
+            detect_time += o.detect;
+            induce_time += o.induce;
+            link_time += o.link;
+            diag.degraded.extend(o.degraded);
+            terms.extend(o.report);
         }
         for (stage, elapsed) in [
             (Stage::PolysemyDetection, detect_time),
@@ -276,10 +293,25 @@ fn validate(
     Ok(())
 }
 
+/// Per-term result of the Steps II–IV fan-out: the report (absent when
+/// the term was skipped), the degradations recorded while processing it,
+/// and the wall-clock time spent in each stage.
+#[derive(Default)]
+struct TermOutcome {
+    report: Option<TermReport>,
+    degraded: Vec<Degradation>,
+    detect: Duration,
+    induce: Duration,
+    link: Duration,
+}
+
 /// Run `f`, catching panics: on a panic the term is degraded at `stage`
 /// with the panic message as reason and `fallback` supplies the value.
-fn guarded<T>(
-    diag: &mut RunDiagnostics,
+/// Takes a bare degradation list rather than [`RunDiagnostics`] because
+/// inside the parallel fan-out each worker owns a local list that is
+/// merged into the diagnostics in term order afterwards.
+fn guarded_term<T>(
+    degraded: &mut Vec<Degradation>,
     stage: Stage,
     term: &str,
     f: impl FnOnce() -> T,
@@ -295,7 +327,11 @@ fn guarded<T>(
             } else {
                 "panic with non-string payload".to_owned()
             };
-            diag.degrade(term, stage, reason);
+            degraded.push(Degradation {
+                term: term.to_owned(),
+                stage,
+                reason,
+            });
             fallback()
         }
     }
@@ -434,8 +470,8 @@ mod tests {
     #[test]
     fn guarded_records_degradation_and_falls_back() {
         let mut diag = RunDiagnostics::default();
-        let v = guarded(
-            &mut diag,
+        let v = guarded_term(
+            &mut diag.degraded,
             Stage::SenseInduction,
             "cornea",
             || -> usize { panic!("boom {}", 7) },

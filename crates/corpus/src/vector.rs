@@ -9,6 +9,10 @@ use std::collections::HashMap;
 /// A sparse vector: sorted `(dimension, value)` pairs with no duplicate
 /// dimensions and no explicit zeros.
 ///
+/// The Euclidean norm is cached at construction and kept in sync by the
+/// mutating operations, so [`SparseVector::cosine`] in the Step-III/IV
+/// inner loops never recomputes `sqrt(Σv²)` per call.
+///
 /// ```
 /// use boe_corpus::SparseVector;
 ///
@@ -18,9 +22,19 @@ use std::collections::HashMap;
 /// assert_eq!(a.dot(&b), 4.0);
 /// assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SparseVector {
     entries: Vec<(u32, f64)>,
+    /// Cached Euclidean norm of `entries` (0.0 for the empty vector).
+    norm: f64,
+}
+
+/// Equality is defined by the entries alone; the cached norm is derived
+/// from them deterministically.
+impl PartialEq for SparseVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl SparseVector {
@@ -38,7 +52,14 @@ impl SparseVector {
         }
         let mut entries: Vec<(u32, f64)> = acc.into_iter().filter(|(_, v)| *v != 0.0).collect();
         entries.sort_unstable_by_key(|(d, _)| *d);
-        SparseVector { entries }
+        Self::from_sorted(entries)
+    }
+
+    /// Build from already-sorted, deduplicated, zero-free entries,
+    /// computing the cached norm once.
+    fn from_sorted(entries: Vec<(u32, f64)>) -> Self {
+        let norm = compute_norm(&entries);
+        SparseVector { entries, norm }
     }
 
     /// Build from integer counts.
@@ -89,9 +110,9 @@ impl SparseVector {
         sum
     }
 
-    /// Euclidean norm.
+    /// Euclidean norm (cached; O(1)).
     pub fn norm(&self) -> f64 {
-        self.entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
+        self.norm
     }
 
     /// Sum of values (L1 mass for non-negative vectors).
@@ -118,6 +139,10 @@ impl SparseVector {
                 *v *= s;
             }
         }
+        // Recompute rather than multiplying the cached value by |s|: the
+        // cache must stay bit-identical to a fresh computation over the
+        // scaled entries.
+        self.norm = compute_norm(&self.entries);
     }
 
     /// Return a unit-norm copy (zero vector stays zero).
@@ -171,15 +196,21 @@ impl SparseVector {
             }
         }
         self.entries = merged;
+        self.norm = compute_norm(&self.entries);
     }
 
     /// Sum a slice of vectors (centroid numerator).
+    ///
+    /// Accumulates every entry in a single hash map pass — per-dimension
+    /// addition order still follows the slice order, so the result is
+    /// identical to folding with [`SparseVector::add_assign`], without
+    /// that fold's quadratic re-merging of the growing accumulator.
     pub fn sum_of(vectors: &[SparseVector]) -> SparseVector {
-        let mut acc = SparseVector::new();
-        for v in vectors {
-            acc.add_assign(v);
+        match vectors {
+            [] => SparseVector::new(),
+            [one] => one.clone(),
+            many => Self::from_pairs(many.iter().flat_map(SparseVector::iter)),
         }
-        acc
     }
 
     /// Centroid (mean) of a slice; the empty slice yields the zero vector.
@@ -195,6 +226,12 @@ impl SparseVector {
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
         self.entries.iter().copied()
     }
+}
+
+/// Euclidean norm of an entry list (the single source of truth for the
+/// cached field).
+fn compute_norm(entries: &[(u32, f64)]) -> f64 {
+    entries.iter().map(|(_, v)| v * v).sum::<f64>().sqrt()
 }
 
 impl FromIterator<(u32, f64)> for SparseVector {
@@ -280,5 +317,43 @@ mod tests {
     fn from_counts() {
         let a = SparseVector::from_counts([(1, 2u32), (1, 3u32)]);
         assert_eq!(a.entries(), &[(1, 5.0)]);
+    }
+
+    #[test]
+    fn cached_norm_tracks_mutations() {
+        let fresh = |v: &SparseVector| compute_norm(v.entries());
+        let mut a = v(&[(0, 3.0), (1, 4.0)]);
+        assert_eq!(a.norm().to_bits(), fresh(&a).to_bits());
+        a.scale(2.5);
+        assert_eq!(a.norm().to_bits(), fresh(&a).to_bits());
+        a.add_assign(&v(&[(1, -10.0), (7, 2.0)]));
+        assert_eq!(a.norm().to_bits(), fresh(&a).to_bits());
+        a.scale(0.0);
+        assert_eq!(a.norm(), 0.0);
+        assert_eq!(SparseVector::new().norm(), 0.0);
+    }
+
+    #[test]
+    fn sum_of_matches_add_assign_fold() {
+        // Mixed magnitudes + a dimension that cancels mid-way: the fast
+        // single-pass accumulation must agree bit-for-bit with the old
+        // pairwise-merge fold.
+        let vs = vec![
+            v(&[(0, 1.0e16), (2, 3.0), (9, -1.0)]),
+            v(&[(0, 1.0), (2, -3.0)]),
+            v(&[(2, 0.125), (5, 2.0), (9, 1.0)]),
+            SparseVector::new(),
+            v(&[(0, -0.625)]),
+        ];
+        let mut slow = SparseVector::new();
+        for x in &vs {
+            slow.add_assign(x);
+        }
+        let fast = SparseVector::sum_of(&vs);
+        assert_eq!(fast.entries().len(), slow.entries().len());
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "dim {}", a.0);
+        }
     }
 }

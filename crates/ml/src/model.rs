@@ -3,7 +3,11 @@
 use crate::dataset::Dataset;
 
 /// A trainable binary classifier.
-pub trait Classifier {
+///
+/// `Send + Sync` is a supertrait so trained models (plain parameter
+/// structs, no interior mutability) can be shared across the parallel
+/// per-term pipeline fan-out behind a `&` reference.
+pub trait Classifier: Send + Sync {
     /// Fit on a training set.
     fn fit(&mut self, train: &Dataset);
 

@@ -1,0 +1,276 @@
+//! # boe-par
+//!
+//! A deterministic, zero-dependency data-parallel runtime built on
+//! [`std::thread::scope`].
+//!
+//! The workspace's hot paths (similarity matrices, per-term pipeline
+//! fan-out, linkage scoring) are embarrassingly parallel *per item*, but
+//! research code must stay reproducible: the same input must yield the
+//! same output regardless of the machine's core count. Every combinator
+//! here therefore guarantees the **determinism contract**:
+//!
+//! * items are split into contiguous index chunks, each worker computes
+//!   its chunk independently, and results are reassembled **in input
+//!   order** — the output `Vec` is identical to the serial
+//!   `items.iter().map(f).collect()` for any pure `f`;
+//! * reductions ([`par_map_reduce`]) fold the mapped values serially in
+//!   index order, so floating-point accumulation associates exactly as
+//!   the serial loop would — results are bit-identical, not merely
+//!   "close";
+//! * a worker panic is re-raised on the calling thread (first panicking
+//!   chunk in index order), matching the serial behaviour under
+//!   `catch_unwind`.
+//!
+//! The thread count comes from, in priority order: a process-wide
+//! programmatic override ([`set_threads`]), the `BOE_THREADS` environment
+//! variable, and finally [`std::thread::available_parallelism`]. A count
+//! of 1 (or fewer items than [`MIN_PARALLEL_ITEMS`]) short-circuits to
+//! the plain serial loop — no threads are spawned at all, so `BOE_THREADS=1`
+//! is a true serial baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Below this many items the combinators run serially even when more
+/// threads are available: spawning scoped threads costs tens of
+/// microseconds, which dwarfs tiny workloads. Callers with very cheap
+/// per-item work should raise the bar further via [`par_map_min`].
+pub const MIN_PARALLEL_ITEMS: usize = 2;
+
+/// Process-wide thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Override the thread count for the whole process (benchmarks and
+/// determinism tests switch between serial and parallel runs without
+/// touching the environment). `None` restores the default resolution
+/// ([`threads`]); `Some(0)` is treated as `Some(1)`.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::SeqCst);
+}
+
+/// The resolved worker-thread count: the [`set_threads`] override if set,
+/// else `BOE_THREADS` (when it parses to ≥ 1), else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("BOE_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Map `f` over `0..n` in parallel, returning results in index order.
+///
+/// Bit-identical to `(0..n).map(f).collect()` for pure `f`.
+pub fn par_map_indexed<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_indexed_min(n, MIN_PARALLEL_ITEMS, f)
+}
+
+/// [`par_map_indexed`] with a custom serial threshold: runs serially
+/// unless `n >= min_items`. Use a high threshold for cheap per-item work
+/// (e.g. a single dot product) where thread-spawn overhead would win.
+pub fn par_map_indexed_min<U, F>(n: usize, min_items: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 || n < min_items.max(MIN_PARALLEL_ITEMS) {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                // Keep the first panic (lowest chunk index) — the one the
+                // serial loop would have hit first.
+                Err(payload) if panic.is_none() => panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        out
+    })
+}
+
+/// Map `f` over a slice in parallel, returning results in input order.
+///
+/// Bit-identical to `items.iter().map(f).collect()` for pure `f`.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+/// [`par_map`] with a custom serial threshold (see
+/// [`par_map_indexed_min`]).
+pub fn par_map_min<T, U, F>(items: &[T], min_items: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed_min(items.len(), min_items, |i| f(&items[i]))
+}
+
+/// Map in parallel, then fold the mapped values **serially in index
+/// order** — the reduction associates exactly like the serial
+/// `items.iter().map(map).fold(init, fold)`, so floating-point sums are
+/// bit-identical to the serial loop at any thread count.
+pub fn par_map_reduce<T, U, A, M, R>(items: &[T], map: M, init: A, fold: R) -> A
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&T) -> U + Sync,
+    R: FnMut(A, U) -> A,
+{
+    par_map(items, map).into_iter().fold(init, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `set_threads`/env are process-global; serialize the tests that
+    /// touch them.
+    static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(Some(n));
+        let out = f();
+        set_threads(None);
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+        for nt in [1, 2, 3, 8] {
+            let par = with_threads(nt, || par_map(&items, |&x| x * 3));
+            assert_eq!(par, serial, "threads = {nt}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial() {
+        let serial: Vec<String> = (0..77).map(|i| format!("#{i}")).collect();
+        let par = with_threads(4, || par_map_indexed(77, |i| format!("#{i}")));
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical() {
+        // A sum whose value depends on association order: different
+        // magnitudes so (a+b)+c != a+(b+c) in general.
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| {
+                if i % 3 == 0 {
+                    1e16
+                } else {
+                    1.0 + i as f64 * 1e-7
+                }
+            })
+            .collect();
+        let serial = items.iter().map(|&x| x * 1.5).fold(0.0f64, |a, x| a + x);
+        for nt in [1, 2, 5, 16] {
+            let par = with_threads(nt, || {
+                par_map_reduce(&items, |&x| x * 1.5, 0.0f64, |a, x| a + x)
+            });
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads = {nt}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(with_threads(8, || par_map(&empty, |&x| x)).is_empty());
+        assert_eq!(with_threads(8, || par_map(&[41u32], |&x| x + 1)), vec![42]);
+        assert_eq!(par_map_reduce(&empty, |&x: &u32| x, 7u32, |a, x| a + x), 7);
+    }
+
+    #[test]
+    fn min_items_threshold_forces_serial() {
+        // Results are identical either way; this just exercises the path.
+        let items: Vec<u64> = (0..100).collect();
+        let out = with_threads(8, || par_map_min(&items, 1000, |&x| x + 1));
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let caught = with_threads(4, || {
+            std::panic::catch_unwind(|| {
+                par_map(&items, |&x| {
+                    if x == 40 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn override_and_env_resolution() {
+        let _g = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(Some(0)); // clamps to 1
+        assert_eq!(threads(), 1);
+        set_threads(None);
+        std::env::set_var("BOE_THREADS", "5");
+        assert_eq!(threads(), 5);
+        std::env::set_var("BOE_THREADS", "not a number");
+        assert!(threads() >= 1); // falls through to available_parallelism
+        std::env::remove_var("BOE_THREADS");
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_uneven_splits() {
+        // n not divisible by worker count.
+        for n in [2usize, 3, 7, 13, 97] {
+            let out = with_threads(4, || par_map_indexed(n, |i| i));
+            assert_eq!(out, (0..n).collect::<Vec<usize>>(), "n = {n}");
+        }
+    }
+}

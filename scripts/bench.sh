@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build the release workspace and write the machine-readable perf report
+# (BENCH_2.json) for the Step III–IV hot paths.
+#
+# Usage:
+#   scripts/bench.sh            # full run, writes BENCH_2.json at repo root
+#   scripts/bench.sh --smoke    # small corpus + short thread sweep (CI)
+#
+# Any extra arguments are passed through to the perf_report binary
+# (e.g. `--out PATH`). Thread-scaling stages are only meaningful on
+# hosts with more than one core; the JSON records `threads_available`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p boe-bench
+cargo run --release --offline -p boe-bench --bin perf_report -- "$@"

@@ -16,4 +16,9 @@ run cargo test -q --workspace --offline
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo fmt --check
 
+# Parallel-runtime gates: bit-identical output across thread counts, and
+# a small perf-report smoke run with the runtime forced to 2 threads.
+run cargo test -q --offline --test parallel_determinism
+run env BOE_THREADS=2 cargo run --release --offline -p boe-bench --bin perf_report -- --smoke --out target/BENCH_smoke.json
+
 echo "ci: all checks passed"

@@ -22,4 +22,5 @@ pub use boe_eval as eval;
 pub use boe_graph as graph;
 pub use boe_ml as ml;
 pub use boe_ontology as ontology;
+pub use boe_par as par;
 pub use boe_textkit as textkit;

@@ -1,0 +1,100 @@
+//! Determinism across thread counts: the parallel runtime must make the
+//! pipeline's output bit-identical to the serial run, not merely "close".
+//!
+//! The whole check lives in one `#[test]` because the thread-count
+//! override ([`boe_par::set_threads`]) is process-global and the test
+//! harness runs `#[test]`s of one binary concurrently.
+
+use bio_onto_enrich::eval::world::{World, WorldConfig};
+use bio_onto_enrich::par as boe_par;
+use bio_onto_enrich::workflow::linkage::{LinkerConfig, SemanticLinker};
+use bio_onto_enrich::workflow::report::EnrichmentReport;
+use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+
+fn world() -> World {
+    World::generate(&WorldConfig {
+        n_concepts: 60,
+        n_holdout: 10,
+        abstracts_per_concept: 4,
+        seed: 0xD17E,
+        ..Default::default()
+    })
+}
+
+/// Full-report equality, down to float bit patterns.
+fn assert_reports_identical(a: &EnrichmentReport, b: &EnrichmentReport) {
+    assert_eq!(a.already_known, b.already_known);
+    assert_eq!(a.terms.len(), b.terms.len());
+    for (x, y) in a.terms.iter().zip(&b.terms) {
+        assert_eq!(x.surface, y.surface);
+        assert_eq!(
+            x.term_score.to_bits(),
+            y.term_score.to_bits(),
+            "{}",
+            x.surface
+        );
+        assert_eq!(x.polysemic, y.polysemic, "{}", x.surface);
+        assert_eq!(x.senses.k, y.senses.k, "{}", x.surface);
+        assert_eq!(x.senses.assignments, y.senses.assignments, "{}", x.surface);
+        assert_eq!(x.propositions.len(), y.propositions.len(), "{}", x.surface);
+        for (p, q) in x.propositions.iter().zip(&y.propositions) {
+            assert_eq!(p.term, q.term, "{}", x.surface);
+            assert_eq!(p.concepts, q.concepts, "{}", x.surface);
+            assert_eq!(p.origin, q.origin, "{}", x.surface);
+            assert_eq!(
+                p.cosine.to_bits(),
+                q.cosine.to_bits(),
+                "{} -> {}: {} vs {}",
+                x.surface,
+                p.term,
+                p.cosine,
+                q.cosine
+            );
+        }
+    }
+    // Degradations must come back in the same (term) order, too.
+    let deg = |r: &EnrichmentReport| {
+        r.diagnostics
+            .degraded
+            .iter()
+            .map(|d| (d.term.clone(), d.stage, d.reason.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(deg(a), deg(b));
+}
+
+#[test]
+fn serial_and_parallel_runs_are_bit_identical() {
+    let w = world();
+    let pipeline = EnrichmentPipeline::new(PipelineConfig {
+        top_terms: 120,
+        ..Default::default()
+    });
+
+    boe_par::set_threads(Some(1));
+    let serial = pipeline
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
+
+    boe_par::set_threads(Some(8));
+    let parallel = pipeline
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
+
+    // Step-IV kernels: the inverted-index scorer must return exactly the
+    // naive scan's top-10 (order, terms, cosine bits), still at 8 threads.
+    let linker = SemanticLinker::new(&w.corpus, &w.reduced_ontology, LinkerConfig::default());
+    for h in &w.holdout {
+        let fast = linker.propose(&h.surface);
+        let naive = linker.propose_naive(&h.surface);
+        assert_eq!(fast.len(), naive.len(), "{}", h.surface);
+        for (f, n) in fast.iter().zip(&naive) {
+            assert_eq!(f.term, n.term, "{}", h.surface);
+            assert_eq!(f.cosine.to_bits(), n.cosine.to_bits(), "{}", h.surface);
+        }
+    }
+
+    boe_par::set_threads(None);
+    assert_reports_identical(&serial, &parallel);
+    assert!(!serial.terms.is_empty(), "nothing analysed — vacuous test");
+}
