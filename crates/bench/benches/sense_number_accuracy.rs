@@ -9,6 +9,7 @@ use boe_bench::{criterion_group, criterion_main};
 use boe_cluster::{Algorithm, InternalIndex};
 use boe_core::senses::{build_representation, Representation};
 use boe_corpus::context::{ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::synth::mshwsd::MshWsdDataset;
 use boe_eval::exp_sense_number;
 use boe_textkit::Language;
@@ -21,6 +22,7 @@ fn bench(c: &mut Criterion) {
     // Kernel: one entity's full k-sweep with the default method.
     let data = MshWsdDataset::generate(Language::English, &cfg.dataset);
     let stems = StemMap::build(&data.corpus);
+    let occ = OccurrenceIndex::build(&data.corpus);
     let entity = &data.entities[0];
     let sid = data
         .corpus
@@ -29,6 +31,7 @@ fn bench(c: &mut Criterion) {
         .expect("interned");
     let mut ctxs = build_representation(
         &data.corpus,
+        &occ,
         &[sid],
         Representation::BagOfWords,
         &stems,
@@ -52,6 +55,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             build_representation(
                 &data.corpus,
+                &occ,
                 &[sid],
                 Representation::BagOfWords,
                 &stems,

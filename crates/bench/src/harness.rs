@@ -200,7 +200,7 @@ enum MetaValue {
 }
 
 impl PerfReport {
-    /// An empty report tagged with `bench` (e.g. `"BENCH_2"`).
+    /// An empty report tagged with `bench` (e.g. `"BENCH_3"`).
     pub fn new(bench: &str) -> Self {
         let mut r = PerfReport::default();
         r.set_str("bench", bench);

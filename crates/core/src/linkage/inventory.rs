@@ -1,9 +1,8 @@
 //! The ontology-term inventory of a corpus: which ontology terms occur in
 //! the text, where, and with what aggregate context.
 
-use boe_corpus::context::{
-    aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap,
-};
+use boe_corpus::context::{ContextOptions, ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::{Corpus, SparseVector};
 use boe_ontology::{ConceptId, Ontology};
 use boe_textkit::TokenId;
@@ -45,20 +44,28 @@ pub struct OntologyTermInventory {
 impl OntologyTermInventory {
     /// Scan `corpus` for every term of `onto` (preferred + synonyms) and
     /// precompute contexts. Terms with zero occurrences are skipped.
+    /// Convenience wrapper that builds its own [`OccurrenceIndex`];
+    /// pipeline callers share one per run via
+    /// [`Self::build_with_extras`].
     pub fn build(corpus: &Corpus, onto: &Ontology, stems: &StemMap) -> Self {
-        Self::build_with_extras(corpus, onto, stems, &[], ContextScope::Sentence)
+        let occ = OccurrenceIndex::build(corpus);
+        Self::build_with_extras(corpus, onto, stems, &[], ContextScope::Sentence, &occ)
     }
 
     /// Like [`Self::build`], additionally indexing `extras` — corpus terms
     /// (typically Step-I candidates) that are *not* in the ontology but
     /// may still be proposed as positions, as in the paper's Table 3
     /// ("re-epithelialization", "wound"). Extras carry no concepts.
+    /// Occurrences and contexts are resolved through `occ`, batched over
+    /// all surfaces in one fan-out instead of re-scanning the corpus per
+    /// term.
     pub fn build_with_extras(
         corpus: &Corpus,
         onto: &Ontology,
         stems: &StemMap,
         extras: &[String],
         scope: ContextScope,
+        occ: &OccurrenceIndex,
     ) -> Self {
         let opts = ContextOptions {
             window: None,
@@ -68,54 +75,49 @@ impl OntologyTermInventory {
         let mut terms = Vec::new();
         let mut presence = Vec::new();
         let mut by_key: HashMap<String, usize> = HashMap::new();
-        // Collect (raw surface, key, concepts) triples, deduplicated by
-        // match key. Raw surfaces keep their accents — the corpus tokens
-        // do too, so the phrase lookup must use the raw form (the match
-        // key is accent-folded and would silently miss every accented
-        // French/Spanish term).
-        let mut surfaces: Vec<(String, String, Vec<ConceptId>)> = Vec::new();
-        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        // Collect (raw surface, key) pairs. Raw surfaces keep their
+        // accents — the corpus tokens do too, so the phrase lookup must
+        // use the raw form (the match key is accent-folded and would
+        // silently miss every accented French/Spanish term).
+        let mut surfaces: Vec<(String, String)> = Vec::new();
         for concept in onto.concepts() {
             for raw in concept.terms() {
                 let key = boe_textkit::normalize::match_key(raw);
-                if seen.insert(key.clone()) {
-                    surfaces.push((
-                        raw.to_owned(),
-                        key.clone(),
-                        onto.concepts_of_term(&key).to_vec(),
-                    ));
-                }
+                surfaces.push((raw.to_owned(), key));
             }
         }
         for extra in extras {
-            let key = boe_textkit::normalize::match_key(extra);
-            if seen.insert(key.clone()) {
-                surfaces.push((extra.clone(), key, Vec::new()));
-            }
+            surfaces.push((extra.clone(), boe_textkit::normalize::match_key(extra)));
         }
+        // Order and dedup by match key. The sort is stable, so among
+        // duplicate keys the first pushed wins — ontology surfaces beat
+        // extras, earlier concepts beat later ones — exactly as a
+        // first-insert-wins seen-set would decide, without cloning every
+        // key into one.
         surfaces.sort_by(|a, b| a.1.cmp(&b.1));
-        // Each surface is scanned for occurrences and context
-        // independently, so the scans fan out across threads; results
-        // come back in surface (key) order, making the assembly below —
-        // and therefore term indices and posting lists — identical to
-        // the serial build at any thread count.
-        let scanned = boe_par::par_map(&surfaces, |(surface, _, _)| {
-            let tokens = corpus.phrase_ids(surface)?;
-            let occs = find_occurrences(corpus, &tokens);
-            if occs.is_empty() {
-                return None;
+        surfaces.dedup_by(|a, b| a.1 == b.1);
+        // One batched resolution over every surface: the index fans the
+        // per-phrase lookups out across threads and returns results in
+        // surface (key) order, making the assembly below — and therefore
+        // term indices and posting lists — identical to the serial build
+        // at any thread count. Surfaces with out-of-vocabulary words
+        // keep an empty token list and resolve to zero occurrences.
+        let tokens_of: Vec<Vec<TokenId>> = surfaces
+            .iter()
+            .map(|(surface, _)| corpus.phrase_ids(surface).unwrap_or_default())
+            .collect();
+        let harvested = occ.aggregate_contexts_for(corpus, &tokens_of, opts, Some(stems));
+        for (((surface, key), tokens), (occs, context)) in
+            surfaces.into_iter().zip(tokens_of).zip(harvested)
+        {
+            if tokens.is_empty() || occs.is_empty() {
+                continue;
             }
-            let context = aggregate_context(corpus, &tokens, opts, Some(stems));
             let mut pres: Vec<(u32, u32)> =
                 occs.iter().map(|o| (o.doc.0, o.sentence as u32)).collect();
             pres.sort_unstable();
             pres.dedup();
-            Some((tokens, occs.len() as u32, context, pres))
-        });
-        for ((surface, key, concepts), scan) in surfaces.into_iter().zip(scanned) {
-            let Some((tokens, freq, context, pres)) = scan else {
-                continue;
-            };
+            let concepts = onto.concepts_of_term(&key).to_vec();
             by_key.insert(key.clone(), terms.len());
             presence.push(pres);
             terms.push(LinkedTerm {
@@ -123,7 +125,7 @@ impl OntologyTermInventory {
                 key,
                 tokens,
                 concepts,
-                freq,
+                freq: occs.len() as u32,
                 context,
             });
         }

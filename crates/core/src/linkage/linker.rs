@@ -1,12 +1,12 @@
 //! The semantic linker.
 
 use crate::linkage::inventory::OntologyTermInventory;
-use boe_corpus::context::{
-    aggregate_context, find_occurrences, ContextOptions, ContextScope, StemMap,
-};
+use boe_corpus::context::{ContextOptions, ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::Corpus;
 use boe_ontology::{query, ConceptId, Ontology};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a proposed position entered the candidate list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,12 +85,13 @@ pub struct SemanticLinker<'c> {
     corpus: &'c Corpus,
     ontology: &'c Ontology,
     stems: StemMap,
+    occ: Arc<OccurrenceIndex>,
     inventory: OntologyTermInventory,
     config: LinkerConfig,
 }
 
 impl<'c> SemanticLinker<'c> {
-    /// Build the linker (scans the corpus for ontology terms once).
+    /// Build the linker (indexes the corpus for ontology terms once).
     pub fn new(corpus: &'c Corpus, ontology: &'c Ontology, config: LinkerConfig) -> Self {
         Self::with_candidates(corpus, ontology, config, &[])
     }
@@ -104,6 +105,20 @@ impl<'c> SemanticLinker<'c> {
         config: LinkerConfig,
         candidates: &[String],
     ) -> Self {
+        let occ = Arc::new(OccurrenceIndex::build(corpus));
+        Self::with_candidates_indexed(corpus, ontology, config, candidates, occ)
+    }
+
+    /// [`Self::with_candidates`] resolving occurrences through a shared
+    /// [`OccurrenceIndex`] (the pipeline builds one per run and hands it
+    /// to every stage instead of re-indexing per component).
+    pub fn with_candidates_indexed(
+        corpus: &'c Corpus,
+        ontology: &'c Ontology,
+        config: LinkerConfig,
+        candidates: &[String],
+        occ: Arc<OccurrenceIndex>,
+    ) -> Self {
         let stems = StemMap::build(corpus);
         let inventory = OntologyTermInventory::build_with_extras(
             corpus,
@@ -111,11 +126,13 @@ impl<'c> SemanticLinker<'c> {
             &stems,
             candidates,
             config.scope,
+            &occ,
         );
         SemanticLinker {
             corpus,
             ontology,
             stems,
+            occ,
             inventory,
             config,
         }
@@ -164,16 +181,19 @@ impl<'c> SemanticLinker<'c> {
     /// the candidate does not occur in the corpus.
     fn gather_positions(&self, candidate: &str) -> Option<GatheredPositions> {
         let tokens = self.corpus.phrase_ids(candidate)?;
-        let occs = find_occurrences(self.corpus, &tokens);
-        if occs.is_empty() {
-            return None;
-        }
         let opts = ContextOptions {
             window: None,
             stemmed: true,
             scope: self.config.scope,
         };
-        let candidate_ctx = aggregate_context(self.corpus, &tokens, opts, Some(&self.stems));
+        // One positional resolution serves both the occurrence list and
+        // the aggregate context.
+        let (occs, candidate_ctx) =
+            self.occ
+                .occurrences_and_context(self.corpus, &tokens, opts, Some(&self.stems));
+        if occs.is_empty() {
+            return None;
+        }
         let sentences: Vec<(u32, u32)> =
             occs.iter().map(|o| (o.doc.0, o.sentence as u32)).collect();
 

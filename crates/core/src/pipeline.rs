@@ -23,9 +23,11 @@ use crate::report::{EnrichmentReport, TermReport};
 use crate::senses::{InducedSenses, SenseInducer, SenseInducerConfig};
 use crate::termex::candidates::CandidateOptions;
 use crate::termex::{TermExtractor, TermMeasure};
+use boe_corpus::occurrence::{OccurrenceIndex, OccurrenceResolution};
 use boe_corpus::Corpus;
 use boe_ontology::Ontology;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -43,6 +45,14 @@ pub struct PipelineConfig {
     pub senses: SenseInducerConfig,
     /// Step-IV configuration.
     pub linker: LinkerConfig,
+    /// How Steps I–IV resolve phrase occurrences. [`Indexed`] builds one
+    /// positional [`OccurrenceIndex`] per run and shares it across every
+    /// stage; [`NaiveScan`] keeps the full-corpus reference scans (same
+    /// output bit for bit, kept for equality testing).
+    ///
+    /// [`Indexed`]: OccurrenceResolution::Indexed
+    /// [`NaiveScan`]: OccurrenceResolution::NaiveScan
+    pub resolution: OccurrenceResolution,
 }
 
 impl Default for PipelineConfig {
@@ -54,6 +64,7 @@ impl Default for PipelineConfig {
             polysemy_model: PolysemyModel::Forest,
             senses: SenseInducerConfig::default(),
             linker: LinkerConfig::default(),
+            resolution: OccurrenceResolution::default(),
         }
     }
 }
@@ -114,18 +125,30 @@ impl EnrichmentPipeline {
             diag.warn("step I extracted no new candidate terms");
         }
 
+        // One occurrence index per run: every remaining stage (detector
+        // training, per-term features, sense contexts, linkage) resolves
+        // phrase occurrences through this shared index instead of
+        // scanning the corpus per phrase.
+        let occ = Arc::new(self.config.resolution.build(corpus));
+
         // Step II: train the detector on ontology-derived weak labels.
         let t0 = Instant::now();
-        let features = FeatureContext::build(corpus);
-        let detector = self.train_detector(corpus, ontology, &features, &mut diag);
+        let features = FeatureContext::build_with_index(corpus, Arc::clone(&occ));
+        let detector = self.train_detector(corpus, ontology, &occ, &features, &mut diag);
         let mut detect_time = t0.elapsed();
 
         // Step III/IV setup.
         let t0 = Instant::now();
-        let inducer = SenseInducer::new(corpus, self.config.senses);
+        let inducer = SenseInducer::with_index(corpus, self.config.senses, Arc::clone(&occ));
         let mut induce_time = t0.elapsed();
         let t0 = Instant::now();
-        let linker = SemanticLinker::new(corpus, ontology, self.config.linker);
+        let linker = SemanticLinker::with_candidates_indexed(
+            corpus,
+            ontology,
+            self.config.linker,
+            &[],
+            Arc::clone(&occ),
+        );
         let mut link_time = t0.elapsed();
 
         // Steps II–IV fan out across candidate terms: each term is
@@ -228,6 +251,7 @@ impl EnrichmentPipeline {
         &self,
         corpus: &Corpus,
         ontology: &Ontology,
+        occ: &OccurrenceIndex,
         features: &FeatureContext<'_>,
         diag: &mut RunDiagnostics,
     ) -> Option<PolysemyDetector> {
@@ -237,7 +261,7 @@ impl EnrichmentPipeline {
             let Some(tokens) = corpus.phrase_ids(surface) else {
                 continue;
             };
-            if boe_corpus::context::find_occurrences(corpus, &tokens).is_empty() {
+            if !occ.contains(corpus, &tokens) {
                 continue;
             }
             rows.push(features.features(&tokens, surface));

@@ -3,7 +3,7 @@
 use crate::polysemy::direct_features::direct_features;
 use crate::polysemy::graph_features::{graph_features, TermGraphContext};
 use crate::polysemy::N_FEATURES;
-use boe_corpus::index::InvertedIndex;
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::stats::CoocCounts;
 use boe_corpus::Corpus;
 use boe_ml::boost::AdaBoost;
@@ -17,6 +17,7 @@ use boe_ml::scale::StandardScaler;
 use boe_ml::svm::LinearSvm;
 use boe_ml::tree::DecisionTree;
 use boe_textkit::TokenId;
+use std::sync::Arc;
 
 /// The classifier families the paper tries ("several machine learning
 /// algorithms").
@@ -87,20 +88,26 @@ impl std::fmt::Display for PolysemyModel {
 #[derive(Debug)]
 pub struct FeatureContext<'c> {
     corpus: &'c Corpus,
-    index: InvertedIndex,
+    occ: Arc<OccurrenceIndex>,
     cooc: CoocCounts,
     graph: TermGraphContext,
 }
 
 impl<'c> FeatureContext<'c> {
-    /// Build the shared analyses once for a corpus.
+    /// Build the shared analyses once for a corpus (indexes it in the
+    /// process).
     pub fn build(corpus: &'c Corpus) -> Self {
-        let index = InvertedIndex::build(corpus);
+        Self::build_with_index(corpus, Arc::new(OccurrenceIndex::build(corpus)))
+    }
+
+    /// Build the shared analyses, resolving occurrences through a shared
+    /// [`OccurrenceIndex`] (one per pipeline run).
+    pub fn build_with_index(corpus: &'c Corpus, occ: Arc<OccurrenceIndex>) -> Self {
         let cooc = CoocCounts::from_corpus(corpus, 5);
         let graph = TermGraphContext::build(corpus, &cooc, 1);
         FeatureContext {
             corpus,
-            index,
+            occ,
             cooc,
             graph,
         }
@@ -108,7 +115,7 @@ impl<'c> FeatureContext<'c> {
 
     /// The full 23-feature vector of one term.
     pub fn features(&self, phrase: &[TokenId], surface: &str) -> Vec<f64> {
-        let d = direct_features(self.corpus, &self.index, &self.cooc, phrase, surface);
+        let d = direct_features(self.corpus, &self.occ, &self.cooc, phrase, surface);
         let g = graph_features(&self.graph, phrase);
         let mut out = Vec::with_capacity(N_FEATURES);
         out.extend_from_slice(&d);

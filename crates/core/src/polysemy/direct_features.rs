@@ -5,8 +5,8 @@
 //! diversity and entropy, low self-similarity between its occurrence
 //! contexts.
 
-use boe_corpus::context::{contexts, ContextOptions, ContextScope};
-use boe_corpus::index::InvertedIndex;
+use boe_corpus::context::{context_vector, ContextOptions, ContextScope};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::stats::CoocCounts;
 use boe_corpus::{Corpus, SparseVector};
 use boe_textkit::TokenId;
@@ -30,18 +30,27 @@ pub const DIRECT_FEATURE_NAMES: [&str; 11] = [
 /// Compute the 11 direct features of `phrase` over `corpus`.
 ///
 /// `cooc` must be windowed co-occurrence counts of the same corpus (they
-/// are shared across terms, so the caller builds them once).
+/// are shared across terms, so the caller builds them once). All
+/// occurrence-derived features (tf, df, contexts, sentence lengths) come
+/// from a single resolution through `occ`.
 pub fn direct_features(
     corpus: &Corpus,
-    index: &InvertedIndex,
+    occ: &OccurrenceIndex,
     cooc: &CoocCounts,
     phrase: &[TokenId],
     surface: &str,
 ) -> [f64; 11] {
-    let matches = index.phrase_matches(phrase);
-    let tf: u32 = matches.iter().map(|&(_, c)| c).sum();
-    let df = matches.len() as f64;
-    let n_docs = index.doc_count() as f64;
+    let occs = occ.find_occurrences(corpus, phrase);
+    let tf = occs.len() as u32;
+    // Occurrences arrive grouped by document (ascending), so distinct
+    // documents are counted at the group boundaries.
+    let df = occs
+        .iter()
+        .zip(occs.iter().skip(1))
+        .filter(|(a, b)| a.doc != b.doc)
+        .count() as f64
+        + if occs.is_empty() { 0.0 } else { 1.0 };
+    let n_docs = corpus.len() as f64;
     let idf = ((n_docs + 1.0) / (df + 1.0)).ln() + 1.0;
 
     // Neighbour diversity & entropy from the head word's co-occurrences
@@ -75,11 +84,13 @@ pub fn direct_features(
         stemmed: false,
         scope: ContextScope::Sentence,
     };
-    let ctxs = contexts(corpus, phrase, opts, None);
+    let ctxs: Vec<SparseVector> = occs
+        .iter()
+        .map(|&o| context_vector(corpus, o, phrase.len(), opts, None))
+        .collect();
     let (mean_sim, var_sim) = context_self_similarity(&ctxs);
 
     // Mean sentence length over occurrences.
-    let occs = boe_corpus::context::find_occurrences(corpus, phrase);
     let mean_sent_len = if occs.is_empty() {
         0.0
     } else {
@@ -134,20 +145,20 @@ mod tests {
     use boe_corpus::corpus::CorpusBuilder;
     use boe_textkit::Language;
 
-    fn setup(texts: &[&str]) -> (Corpus, InvertedIndex, CoocCounts) {
+    fn setup(texts: &[&str]) -> (Corpus, OccurrenceIndex, CoocCounts) {
         let mut b = CorpusBuilder::new(Language::English);
         for t in texts {
             b.add_text(t);
         }
         let c = b.build();
-        let ix = InvertedIndex::build(&c);
+        let ox = OccurrenceIndex::build(&c);
         let cc = CoocCounts::from_corpus(&c, 5);
-        (c, ix, cc)
+        (c, ox, cc)
     }
 
-    fn features_of(c: &Corpus, ix: &InvertedIndex, cc: &CoocCounts, phrase: &str) -> [f64; 11] {
+    fn features_of(c: &Corpus, ox: &OccurrenceIndex, cc: &CoocCounts, phrase: &str) -> [f64; 11] {
         let ids = c.phrase_ids(phrase).expect("known phrase");
-        direct_features(c, ix, cc, &ids, phrase)
+        direct_features(c, ox, cc, &ids, phrase)
     }
 
     #[test]

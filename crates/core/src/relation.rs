@@ -7,7 +7,7 @@
 //! mentions in shared sentences and map them onto a coarse relation
 //! typology through a verb lexicon.
 
-use boe_corpus::context::find_occurrences;
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::Corpus;
 use boe_textkit::pos::PosTag;
 use boe_textkit::TokenId;
@@ -72,10 +72,16 @@ pub struct RelationEvidence {
 
 /// Extract the relation type between `a` and `b` from the verbs found
 /// between their mentions in shared sentences. `None` when the two terms
-/// never share a sentence.
-pub fn extract_relation(corpus: &Corpus, a: &[TokenId], b: &[TokenId]) -> Option<RelationEvidence> {
-    let occ_a = find_occurrences(corpus, a);
-    let occ_b = find_occurrences(corpus, b);
+/// never share a sentence. Mentions are resolved through `occ`, shared
+/// with the rest of the pipeline.
+pub fn extract_relation(
+    corpus: &Corpus,
+    occ: &OccurrenceIndex,
+    a: &[TokenId],
+    b: &[TokenId],
+) -> Option<RelationEvidence> {
+    let occ_a = occ.find_occurrences(corpus, a);
+    let occ_b = occ.find_occurrences(corpus, b);
     // Index b's occurrences by (doc, sentence).
     let mut b_by_sentence: HashMap<(u32, usize), Vec<usize>> = HashMap::new();
     for o in &occ_b {
@@ -151,7 +157,7 @@ mod tests {
     fn relation_of(c: &Corpus, a: &str, b: &str) -> Option<RelationEvidence> {
         let ta = c.phrase_ids(a).expect("a known");
         let tb = c.phrase_ids(b).expect("b known");
-        extract_relation(c, &ta, &tb)
+        extract_relation(c, &OccurrenceIndex::build(c), &ta, &tb)
     }
 
     #[test]

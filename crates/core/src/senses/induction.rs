@@ -5,8 +5,10 @@ use boe_cluster::features::{induce_concepts, InducedConcept};
 use boe_cluster::kpredict::{predict_k, KPredictConfig};
 use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
 use boe_corpus::context::{ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::{Corpus, SparseVector};
 use boe_textkit::TokenId;
+use std::sync::Arc;
 
 /// Configuration of the sense inducer.
 #[derive(Debug, Clone, Copy)]
@@ -59,15 +61,27 @@ pub struct InducedSenses {
 pub struct SenseInducer<'c> {
     corpus: &'c Corpus,
     stems: StemMap,
+    occ: Arc<OccurrenceIndex>,
     config: SenseInducerConfig,
 }
 
 impl<'c> SenseInducer<'c> {
-    /// Build for `corpus` under `config`.
+    /// Build for `corpus` under `config` (indexes the corpus once).
     pub fn new(corpus: &'c Corpus, config: SenseInducerConfig) -> Self {
+        Self::with_index(corpus, config, Arc::new(OccurrenceIndex::build(corpus)))
+    }
+
+    /// Build for `corpus`, resolving occurrences through a shared
+    /// [`OccurrenceIndex`] (one per pipeline run).
+    pub fn with_index(
+        corpus: &'c Corpus,
+        config: SenseInducerConfig,
+        occ: Arc<OccurrenceIndex>,
+    ) -> Self {
         SenseInducer {
             corpus,
             stems: StemMap::build(corpus),
+            occ,
             config,
         }
     }
@@ -82,6 +96,7 @@ impl<'c> SenseInducer<'c> {
     pub fn contexts(&self, phrase: &[TokenId]) -> Vec<SparseVector> {
         build_representation(
             self.corpus,
+            &self.occ,
             phrase,
             self.config.representation,
             &self.stems,

@@ -11,7 +11,8 @@
 //!   single words are shared between senses but their combinations are
 //!   not.
 
-use boe_corpus::context::{find_occurrences, ContextOptions, ContextScope, StemMap};
+use boe_corpus::context::{ContextOptions, ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::{Corpus, SparseVector};
 use boe_textkit::TokenId;
 
@@ -57,15 +58,17 @@ fn pair_dim(a: u32, b: u32) -> u32 {
 /// representation. Context = the occurrence's sentence minus the phrase,
 /// stopwords and non-lexical tokens, stem-conflated. Use
 /// [`ContextScope::Document`] when each document is one citation-style
-/// context (the MSH-WSD setting).
+/// context (the MSH-WSD setting). Occurrences are resolved through
+/// `occ`, shared with the other pipeline stages.
 pub fn build_representation(
     corpus: &Corpus,
+    occ: &OccurrenceIndex,
     phrase: &[TokenId],
     repr: Representation,
     stems: &StemMap,
     scope: ContextScope,
 ) -> Vec<SparseVector> {
-    let occs = find_occurrences(corpus, phrase);
+    let occs = occ.find_occurrences(corpus, phrase);
     let opts = ContextOptions {
         window: None,
         stemmed: true,
@@ -113,6 +116,7 @@ mod tests {
         let ids = c.phrase_ids("target").expect("known");
         let vs = build_representation(
             &c,
+            &OccurrenceIndex::build(&c),
             &ids,
             Representation::BagOfWords,
             &stems,
@@ -130,6 +134,7 @@ mod tests {
         let ids = c.phrase_ids("target").expect("known");
         let vs = build_representation(
             &c,
+            &OccurrenceIndex::build(&c),
             &ids,
             Representation::Graph,
             &stems,
@@ -152,6 +157,7 @@ mod tests {
         let ids = c.phrase_ids("target").expect("known");
         let bow = build_representation(
             &c,
+            &OccurrenceIndex::build(&c),
             &ids,
             Representation::BagOfWords,
             &stems,
@@ -159,6 +165,7 @@ mod tests {
         );
         let graph = build_representation(
             &c,
+            &OccurrenceIndex::build(&c),
             &ids,
             Representation::Graph,
             &stems,
@@ -186,6 +193,7 @@ mod tests {
         let ids = c.phrase_ids("target").expect("known");
         let vs = build_representation(
             &c,
+            &OccurrenceIndex::build(&c),
             &ids,
             Representation::BagOfWords,
             &stems,

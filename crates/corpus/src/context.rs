@@ -59,8 +59,15 @@ impl StemMap {
     }
 }
 
-/// Find all occurrences of `phrase` (exact adjacent token-id sequence).
-pub fn find_occurrences(corpus: &Corpus, phrase: &[TokenId]) -> Vec<Occurrence> {
+/// Find all occurrences of `phrase` (exact adjacent token-id sequence)
+/// by scanning every sentence of the corpus.
+///
+/// This is the O(corpus tokens) reference implementation; hot paths
+/// resolve occurrences through
+/// [`crate::occurrence::OccurrenceIndex::find_occurrences`], which walks
+/// only the postings of the phrase's rarest token and is verified
+/// bit-identical to this scan (same occurrences, same order).
+pub fn find_occurrences_naive(corpus: &Corpus, phrase: &[TokenId]) -> Vec<Occurrence> {
     let mut out = Vec::new();
     if phrase.is_empty() {
         return out;
@@ -128,7 +135,7 @@ pub fn context_vector(
     stems: Option<&StemMap>,
 ) -> SparseVector {
     let doc = corpus.doc(occ.doc);
-    // Occurrences come from `find_occurrences` on the same corpus, so
+    // Occurrences come from `find_occurrences_naive` on the same corpus, so
     // the sentence index is in range by construction.
     debug_assert!(occ.sentence < doc.sentences.len());
     let mut pairs = Vec::new();
@@ -170,14 +177,129 @@ pub fn context_vector(
     SparseVector::from_pairs(pairs)
 }
 
-/// All per-occurrence context vectors of `phrase`.
+/// Precomputed per-document context bases for
+/// [`ContextScope::Document`] harvesting.
+///
+/// At document scope every occurrence's context is the whole document
+/// minus the phrase's own tokens, so building it from scratch repeats
+/// the stopword/tag filtering and stem lookups of the entire document
+/// per occurrence. This cache does that work once per document; each
+/// occurrence context is then the cached base minus the dimensions at
+/// the occupied positions. Context values are exact integer counts, so
+/// the subtraction reproduces [`context_vector`]'s output bit for bit.
+#[derive(Debug)]
+pub struct DocContextCache {
+    /// Per doc: the full filtered context vector.
+    base: Vec<SparseVector>,
+    /// Per doc, per sentence: the dimension each position contributes
+    /// (`None` for stopwords and non-lexical tokens).
+    dims: Vec<Vec<Vec<Option<u32>>>>,
+}
+
+impl DocContextCache {
+    /// Precompute the base vector and position-dimension map of every
+    /// document under `opts`/`stems` (the window option is ignored, as
+    /// it is at document scope generally).
+    pub fn build(corpus: &Corpus, opts: ContextOptions, stems: Option<&StemMap>) -> Self {
+        let mut base = Vec::with_capacity(corpus.len());
+        let mut dims = Vec::with_capacity(corpus.len());
+        for doc in corpus.docs() {
+            let mut doc_dims: Vec<Vec<Option<u32>>> = Vec::with_capacity(doc.sentences.len());
+            let mut pairs = Vec::new();
+            for s in &doc.sentences {
+                let mut sent_dims = Vec::with_capacity(s.tokens.len());
+                for (i, &t) in s.tokens.iter().enumerate() {
+                    if corpus.is_stopword(t) || !s.tags[i].is_term_internal() {
+                        sent_dims.push(None);
+                        continue;
+                    }
+                    let dim = match (opts.stemmed, stems) {
+                        (true, Some(sm)) => sm.stem_dim(t),
+                        _ => t.0,
+                    };
+                    sent_dims.push(Some(dim));
+                    pairs.push((dim, 1.0));
+                }
+                doc_dims.push(sent_dims);
+            }
+            base.push(SparseVector::from_pairs(pairs));
+            dims.push(doc_dims);
+        }
+        DocContextCache { base, dims }
+    }
+
+    /// The document-scope context vector of one occurrence —
+    /// bit-identical to [`context_vector`] with
+    /// [`ContextScope::Document`].
+    pub fn context_vector(&self, occ: Occurrence, phrase_len: usize) -> SparseVector {
+        let doc = occ.doc.0 as usize;
+        let mut removed: Vec<u32> = self.removed_dims(occ, phrase_len).collect();
+        if removed.is_empty() {
+            return self.base[doc].clone();
+        }
+        removed.sort_unstable();
+        self.base[doc].minus_counts(&removed)
+    }
+
+    /// The cached base vector of a document.
+    pub fn base(&self, doc: crate::doc::DocId) -> &SparseVector {
+        &self.base[doc.0 as usize]
+    }
+
+    /// The dimensions an occurrence's own tokens contribute to its
+    /// document base (filtered positions yield nothing).
+    pub fn removed_dims(
+        &self,
+        occ: Occurrence,
+        phrase_len: usize,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let sent = &self.dims[occ.doc.0 as usize][occ.sentence];
+        sent[occ.start..(occ.start + phrase_len).min(sent.len())]
+            .iter()
+            .flatten()
+            .copied()
+    }
+
+    /// The aggregate (summed) document-scope context over `occs` (sorted
+    /// by document, as occurrence resolution emits them) — bit-identical
+    /// to summing [`context_vector`] per occurrence. Occurrences sharing
+    /// a document contribute `k × base` in one pass; every value stays
+    /// an exact integer count, so the grouped arithmetic reproduces the
+    /// per-occurrence sum bit for bit.
+    pub fn aggregate(&self, occs: &[Occurrence], phrase_len: usize) -> SparseVector {
+        let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < occs.len() {
+            let doc = occs[i].doc;
+            let mut j = i;
+            while j < occs.len() && occs[j].doc == doc {
+                j += 1;
+            }
+            let k = (j - i) as f64;
+            for (d, v) in self.base(doc).iter() {
+                *acc.entry(d).or_insert(0.0) += k * v;
+            }
+            for &o in &occs[i..j] {
+                for dim in self.removed_dims(o, phrase_len) {
+                    *acc.entry(dim).or_insert(0.0) -= 1.0;
+                }
+            }
+            i = j;
+        }
+        SparseVector::from_pairs(acc)
+    }
+}
+
+/// All per-occurrence context vectors of `phrase`, resolved through the
+/// naive full-corpus scan (reference path; see
+/// [`crate::occurrence::OccurrenceIndex::contexts`] for the indexed one).
 pub fn contexts(
     corpus: &Corpus,
     phrase: &[TokenId],
     opts: ContextOptions,
     stems: Option<&StemMap>,
 ) -> Vec<SparseVector> {
-    find_occurrences(corpus, phrase)
+    find_occurrences_naive(corpus, phrase)
         .into_iter()
         .map(|occ| context_vector(corpus, occ, phrase.len(), opts, stems))
         .collect()
@@ -212,7 +334,7 @@ mod tests {
     fn finds_all_occurrences() {
         let c = corpus();
         let phrase = c.phrase_ids("corneal injuries").expect("known");
-        let occs = find_occurrences(&c, &phrase);
+        let occs = find_occurrences_naive(&c, &phrase);
         assert_eq!(occs.len(), 2);
         assert_eq!(occs[0].doc, DocId(0));
         assert_eq!(occs[1].doc, DocId(1));
@@ -223,7 +345,7 @@ mod tests {
     fn context_excludes_phrase_and_stopwords() {
         let c = corpus();
         let phrase = c.phrase_ids("corneal injuries").expect("known");
-        let occs = find_occurrences(&c, &phrase);
+        let occs = find_occurrences_naive(&c, &phrase);
         let opts = ContextOptions {
             window: None,
             stemmed: false,
@@ -242,7 +364,7 @@ mod tests {
     fn window_limits_context() {
         let c = corpus();
         let phrase = c.phrase_ids("corneal injuries").expect("known");
-        let occs = find_occurrences(&c, &phrase);
+        let occs = find_occurrences_naive(&c, &phrase);
         let narrow = ContextOptions {
             window: Some(1),
             stemmed: false,
@@ -286,7 +408,7 @@ mod tests {
     #[test]
     fn empty_phrase_has_no_occurrences() {
         let c = corpus();
-        assert!(find_occurrences(&c, &[]).is_empty());
+        assert!(find_occurrences_naive(&c, &[]).is_empty());
     }
 
     #[test]

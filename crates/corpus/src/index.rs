@@ -100,11 +100,18 @@ impl InvertedIndex {
         self.term_freq.get(&token).copied().unwrap_or(0)
     }
 
+    /// The posting of `token` in `doc`, if any. Posting lists are sorted
+    /// by document, so this is a binary search rather than a linear scan.
+    pub fn posting_for(&self, token: TokenId, doc: DocId) -> Option<&Posting> {
+        let list = self.postings(token);
+        list.binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| &list[i])
+    }
+
     /// Term frequency of `token` within one document.
     pub fn tf_in_doc(&self, token: TokenId, doc: DocId) -> u32 {
-        self.postings(token)
-            .iter()
-            .find(|p| p.doc == doc)
+        self.posting_for(token, doc)
             .map(|p| p.positions.len() as u32)
             .unwrap_or(0)
     }
@@ -116,17 +123,22 @@ impl InvertedIndex {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for p in self.postings(*first) {
+        'doc: for p in self.postings(*first) {
+            // Resolve each remaining token's posting in this document
+            // once, up front; a token absent from the document rules out
+            // every position.
+            let mut rests = Vec::with_capacity(rest.len());
+            for t in rest {
+                match self.posting_for(*t, p.doc) {
+                    Some(q) => rests.push(q),
+                    None => continue 'doc,
+                }
+            }
             let mut count = 0u32;
             'pos: for &(si, pi) in &p.positions {
-                for (offset, t) in rest.iter().enumerate() {
+                for (offset, q) in rests.iter().enumerate() {
                     let want = (si, pi + 1 + offset as u32);
-                    let ok = self
-                        .postings(*t)
-                        .iter()
-                        .find(|q| q.doc == p.doc)
-                        .is_some_and(|q| q.positions.binary_search(&want).is_ok());
-                    if !ok {
+                    if q.positions.binary_search(&want).is_err() {
                         continue 'pos;
                     }
                 }

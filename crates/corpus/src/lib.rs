@@ -6,6 +6,9 @@
 //! * [`doc`] / [`corpus`] — tokenized, POS-tagged document collections over
 //!   an interned vocabulary;
 //! * [`index`] — inverted index with positional postings;
+//! * [`occurrence`] — index-backed phrase-occurrence resolution shared
+//!   by Steps I–IV (rarest-token postings walk, batch context
+//!   harvesting), bit-identical to the naive scans it replaces;
 //! * [`stats`] — frequency and windowed co-occurrence statistics;
 //! * [`vector`] — sparse vectors and the cosine kernel every downstream
 //!   step (clustering, linkage) runs on;
@@ -21,6 +24,7 @@ pub mod context;
 pub mod corpus;
 pub mod doc;
 pub mod index;
+pub mod occurrence;
 pub mod stats;
 pub mod synth;
 pub mod vector;
@@ -28,4 +32,5 @@ pub mod weighting;
 
 pub use corpus::{Corpus, CorpusBuilder};
 pub use doc::{DocId, Document, Sentence};
+pub use occurrence::{OccurrenceIndex, OccurrenceResolution};
 pub use vector::SparseVector;

@@ -120,6 +120,32 @@ impl SparseVector {
         self.entries.iter().map(|(_, v)| v).sum()
     }
 
+    /// A copy with one unit subtracted per listed dimension (`removals`
+    /// sorted ascending, repeats allowed); entries reaching zero are
+    /// dropped. For integral count vectors the subtraction is exact, so
+    /// the result is bit-identical to rebuilding the vector without the
+    /// removed contributions.
+    pub fn minus_counts(&self, removals: &[u32]) -> SparseVector {
+        debug_assert!(removals.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let mut entries = Vec::with_capacity(self.entries.len());
+        let mut r = 0usize;
+        for &(d, v) in &self.entries {
+            while r < removals.len() && removals[r] < d {
+                r += 1;
+            }
+            let mut k = 0.0;
+            while r < removals.len() && removals[r] == d {
+                k += 1.0;
+                r += 1;
+            }
+            let nv = v - k;
+            if nv != 0.0 {
+                entries.push((d, nv));
+            }
+        }
+        Self::from_sorted(entries)
+    }
+
     /// Cosine similarity; 0.0 when either vector is zero.
     pub fn cosine(&self, other: &SparseVector) -> f64 {
         let denom = self.norm() * other.norm();

@@ -3,7 +3,7 @@
 //! Driven by the workspace's own deterministic PRNG (no external
 //! dependencies); each test sweeps seeded random corpora.
 
-use boe_corpus::context::{contexts, find_occurrences, ContextOptions, ContextScope};
+use boe_corpus::context::{contexts, find_occurrences_naive, ContextOptions, ContextScope};
 use boe_corpus::corpus::CorpusBuilder;
 use boe_corpus::index::InvertedIndex;
 use boe_corpus::stats::CoocCounts;
@@ -76,7 +76,7 @@ fn single_token_phrase_matches_agree_with_occurrences() {
         for t in ix.tokens().into_iter().take(10) {
             let phrase = [t];
             let total_phrase: u32 = ix.phrase_matches(&phrase).iter().map(|&(_, n)| n).sum();
-            let occs = find_occurrences(&c, &phrase);
+            let occs = find_occurrences_naive(&c, &phrase);
             assert_eq!(total_phrase as usize, occs.len());
         }
     }

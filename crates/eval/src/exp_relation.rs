@@ -100,13 +100,14 @@ pub struct RelationResult {
 /// Run E7.
 pub fn run(config: &RelationExpConfig) -> RelationResult {
     let (corpus, pairs) = generate(config);
+    let occ = boe_corpus::occurrence::OccurrenceIndex::build(&corpus);
     let mut per_type: Vec<(RelationType, usize, usize)> =
         TYPES.iter().map(|&t| (t, 0, 0)).collect();
     let mut correct_total = 0usize;
     for (a, b, gold) in &pairs {
         let ta = corpus.phrase_ids(a).expect("interned");
         let tb = corpus.phrase_ids(b).expect("interned");
-        let predicted = extract_relation(&corpus, &ta, &tb)
+        let predicted = extract_relation(&corpus, &occ, &ta, &tb)
             .map(|ev| ev.relation)
             .unwrap_or(RelationType::Unknown);
         let slot = per_type

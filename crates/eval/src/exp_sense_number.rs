@@ -11,6 +11,7 @@ use crate::table::{pct, Table};
 use boe_cluster::{Algorithm, ClusterSolution, InternalIndex};
 use boe_core::senses::{build_representation, Representation};
 use boe_corpus::context::{ContextScope, StemMap};
+use boe_corpus::occurrence::OccurrenceIndex;
 use boe_corpus::synth::mshwsd::{MshWsdConfig, MshWsdDataset};
 use boe_corpus::SparseVector;
 use boe_textkit::Language;
@@ -115,6 +116,7 @@ impl SenseNumberResult {
 pub fn run(config: &SenseNumberConfig) -> SenseNumberResult {
     let data = MshWsdDataset::generate(Language::English, &config.dataset);
     let stems = StemMap::build(&data.corpus);
+    let occ = OccurrenceIndex::build(&data.corpus);
     let n = data.entities.len();
     let majority = data.entities.iter().filter(|e| e.k == 2).count() as f64 / n as f64;
 
@@ -130,6 +132,7 @@ pub fn run(config: &SenseNumberConfig) -> SenseNumberResult {
         for (ri, &repr) in config.representations.iter().enumerate() {
             let all = build_representation(
                 &data.corpus,
+                &occ,
                 &[surface_id],
                 repr,
                 &stems,
@@ -214,6 +217,7 @@ pub fn clustering_quality(
 ) -> (f64, f64, f64) {
     let data = MshWsdDataset::generate(Language::English, &config.dataset);
     let stems = StemMap::build(&data.corpus);
+    let occ = OccurrenceIndex::build(&data.corpus);
     let mut sums = (0.0, 0.0, 0.0);
     let mut n = 0usize;
     for entity in &data.entities {
@@ -224,6 +228,7 @@ pub fn clustering_quality(
             .expect("entity surface interned");
         let all = build_representation(
             &data.corpus,
+            &occ,
             &[surface_id],
             representation,
             &stems,

@@ -411,7 +411,7 @@ mod tests {
                 .corpus
                 .phrase_ids(&h.surface)
                 .unwrap_or_else(|| panic!("{} not interned", h.surface));
-            let occs = boe_corpus::context::find_occurrences(&w.corpus, &ids);
+            let occs = boe_corpus::context::find_occurrences_naive(&w.corpus, &ids);
             assert!(!occs.is_empty(), "{} never occurs", h.surface);
         }
     }
@@ -424,7 +424,7 @@ mod tests {
             let fathers = query::fathers(&w.full_ontology, h.concept);
             let father = &w.full_ontology.concept(fathers[0]).preferred;
             if let Some(ids) = w.corpus.phrase_ids(father) {
-                if !boe_corpus::context::find_occurrences(&w.corpus, &ids).is_empty() {
+                if !boe_corpus::context::find_occurrences_naive(&w.corpus, &ids).is_empty() {
                     found += 1;
                 }
             }
@@ -497,7 +497,7 @@ mod tests {
                 t.surface
             );
             let ids = w.corpus.phrase_ids(&t.surface).expect("interned");
-            let occs = boe_corpus::context::find_occurrences(&w.corpus, &ids);
+            let occs = boe_corpus::context::find_occurrences_naive(&w.corpus, &ids);
             // 2 concepts × abstracts × 2 mention sentences.
             assert!(occs.len() >= 8, "{}: {} occurrences", t.surface, occs.len());
         }

@@ -7,6 +7,7 @@
 //! ```
 
 use bio_onto_enrich::corpus::corpus::CorpusBuilder;
+use bio_onto_enrich::corpus::occurrence::OccurrenceIndex;
 use bio_onto_enrich::textkit::Language;
 use bio_onto_enrich::workflow::relation::extract_relation;
 
@@ -17,6 +18,7 @@ fn main() {
     b.add_text("Ulcerative keratitis is corneal ulcer.");
     b.add_text("Corneal injuries involve the epithelium.");
     let corpus = b.build();
+    let occ = OccurrenceIndex::build(&corpus);
 
     let pairs = [
         ("chemical burns", "corneal injuries"),
@@ -27,7 +29,7 @@ fn main() {
     for (a, b_term) in pairs {
         let ta = corpus.phrase_ids(a).expect("known");
         let tb = corpus.phrase_ids(b_term).expect("known");
-        match extract_relation(&corpus, &ta, &tb) {
+        match extract_relation(&corpus, &occ, &ta, &tb) {
             Some(ev) => {
                 let verbs: Vec<String> = ev.verbs.iter().map(|(v, c)| format!("{v}×{c}")).collect();
                 println!(

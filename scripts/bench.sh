@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build the release workspace and write the machine-readable perf report
-# (BENCH_2.json) for the Step III–IV hot paths.
+# (BENCH_3.json) for the Step I–IV hot paths, including the indexed
+# vs naive occurrence-resolution and inventory-build stages
+# (`speedup_inventory_build_indexed_vs_naive` is the headline number).
 #
 # Usage:
-#   scripts/bench.sh            # full run, writes BENCH_2.json at repo root
+#   scripts/bench.sh            # full run, writes BENCH_3.json at repo root
 #   scripts/bench.sh --smoke    # small corpus + short thread sweep (CI)
 #
 # Any extra arguments are passed through to the perf_report binary

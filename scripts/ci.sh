@@ -17,8 +17,15 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo fmt --check
 
 # Parallel-runtime gates: bit-identical output across thread counts, and
-# a small perf-report smoke run with the runtime forced to 2 threads.
+# a small perf-report smoke run with the runtime forced to 2 threads
+# (covers the indexed inventory/occurrence-resolution bench stages).
 run cargo test -q --offline --test parallel_determinism
 run env BOE_THREADS=2 cargo run --release --offline -p boe-bench --bin perf_report -- --smoke --out target/BENCH_smoke.json
+
+# Occurrence-index gates: the positional index must reproduce the naive
+# corpus scan bit for bit — at the resolver level (randomized corpora,
+# accented surfaces) and at the EnrichmentReport level (1 and 8 threads).
+run cargo test -q --offline -p boe-corpus --test occurrence_index_equality
+run cargo test -q --offline --test occurrence_equality
 
 echo "ci: all checks passed"

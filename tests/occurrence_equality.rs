@@ -1,0 +1,94 @@
+//! End-to-end equivalence of the two occurrence-resolution paths: a
+//! pipeline run resolving phrase occurrences through the shared
+//! positional [`OccurrenceIndex`] must produce an [`EnrichmentReport`]
+//! bit-identical to the full-corpus naive scans — at one thread and at
+//! eight.
+//!
+//! One `#[test]` because the thread-count override
+//! ([`boe_par::set_threads`]) is process-global and the test harness
+//! runs `#[test]`s of one binary concurrently.
+
+use bio_onto_enrich::corpus::occurrence::OccurrenceResolution;
+use bio_onto_enrich::eval::world::{World, WorldConfig};
+use bio_onto_enrich::par as boe_par;
+use bio_onto_enrich::workflow::report::EnrichmentReport;
+use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+
+fn world() -> World {
+    World::generate(&WorldConfig {
+        n_concepts: 60,
+        n_holdout: 10,
+        abstracts_per_concept: 4,
+        seed: 0x10DE,
+        ..Default::default()
+    })
+}
+
+/// Full-report equality, down to float bit patterns.
+fn assert_reports_identical(a: &EnrichmentReport, b: &EnrichmentReport) {
+    assert_eq!(a.already_known, b.already_known);
+    assert_eq!(a.terms.len(), b.terms.len());
+    for (x, y) in a.terms.iter().zip(&b.terms) {
+        assert_eq!(x.surface, y.surface);
+        assert_eq!(
+            x.term_score.to_bits(),
+            y.term_score.to_bits(),
+            "{}",
+            x.surface
+        );
+        assert_eq!(x.polysemic, y.polysemic, "{}", x.surface);
+        assert_eq!(x.senses.k, y.senses.k, "{}", x.surface);
+        assert_eq!(x.senses.assignments, y.senses.assignments, "{}", x.surface);
+        assert_eq!(x.propositions.len(), y.propositions.len(), "{}", x.surface);
+        for (p, q) in x.propositions.iter().zip(&y.propositions) {
+            assert_eq!(p.term, q.term, "{}", x.surface);
+            assert_eq!(p.concepts, q.concepts, "{}", x.surface);
+            assert_eq!(p.origin, q.origin, "{}", x.surface);
+            assert_eq!(
+                p.cosine.to_bits(),
+                q.cosine.to_bits(),
+                "{} -> {}: {} vs {}",
+                x.surface,
+                p.term,
+                p.cosine,
+                q.cosine
+            );
+        }
+    }
+    let deg = |r: &EnrichmentReport| {
+        r.diagnostics
+            .degraded
+            .iter()
+            .map(|d| (d.term.clone(), d.stage, d.reason.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(deg(a), deg(b));
+}
+
+#[test]
+fn indexed_and_naive_resolution_yield_identical_reports() {
+    let w = world();
+    let config = PipelineConfig {
+        top_terms: 120,
+        ..Default::default()
+    };
+    assert_eq!(config.resolution, OccurrenceResolution::Indexed);
+    let indexed = EnrichmentPipeline::new(config);
+    let naive = EnrichmentPipeline::new(PipelineConfig {
+        resolution: OccurrenceResolution::NaiveScan,
+        ..config
+    });
+
+    for threads in [1usize, 8] {
+        boe_par::set_threads(Some(threads));
+        let a = indexed
+            .run(&w.corpus, &w.reduced_ontology)
+            .expect("valid input");
+        let b = naive
+            .run(&w.corpus, &w.reduced_ontology)
+            .expect("valid input");
+        assert_reports_identical(&a, &b);
+        assert!(!a.terms.is_empty(), "nothing analysed — vacuous test");
+    }
+    boe_par::set_threads(None);
+}

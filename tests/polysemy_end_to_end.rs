@@ -35,7 +35,7 @@ fn detector_trained_on_ontology_flags_ambiguous_new_terms() {
         let Some(ids) = w.corpus.phrase_ids(surface) else {
             continue;
         };
-        if bio_onto_enrich::corpus::context::find_occurrences(&w.corpus, &ids).is_empty() {
+        if bio_onto_enrich::corpus::context::find_occurrences_naive(&w.corpus, &ids).is_empty() {
             continue;
         }
         rows.push(features.features(&ids, surface));
