@@ -18,13 +18,24 @@
 //! - `score_kernel_*` / `similarity_matrix` — the isolated Step III/IV
 //!   scoring kernels.
 //!
-//! Usage: `perf_report [--smoke] [--out PATH]`. `--smoke` shrinks the
-//! world and the thread sweep so CI can afford the run; the JSON then
-//! carries `"smoke": true` so readers don't compare across scales.
-//! Thread-scaling numbers are only meaningful when the host grants the
-//! process enough cores — `threads_available` records what it granted.
+//! Usage: `perf_report [--smoke] [--out PATH] [--deadline-ms N]`.
+//! `--smoke` shrinks the world and the thread sweep so CI can afford the
+//! run; the JSON then carries `"smoke": true` so readers don't compare
+//! across scales. Thread-scaling numbers are only meaningful when the
+//! host grants the process enough cores — `threads_available` records
+//! what it granted.
+//!
+//! Two honesty guards protect published numbers:
+//!
+//! - if a chaos plan is armed (`BOE_CHAOS`), the tool refuses to run —
+//!   injected stalls/panics would poison every timing;
+//! - `--deadline-ms` runs the sweep under a wall-clock governor; the
+//!   JSON carries `"governed": true`, and if the deadline trips the
+//!   partial report goes to stdout only — `BENCH_*.json` is NOT written
+//!   and the exit code is 8, so CI can't archive a truncated sweep.
 
 use boe_bench::harness::PerfReport;
+use boe_core::governor::{BudgetConfig, Governor};
 use boe_core::linkage::{LinkerConfig, OntologyTermInventory, SemanticLinker};
 use boe_core::senses::{SenseInducer, SenseInducerConfig};
 use boe_corpus::context::{aggregate_context, ContextOptions, ContextScope, StemMap};
@@ -33,6 +44,7 @@ use boe_corpus::SparseVector;
 use boe_eval::world::{World, WorldConfig};
 use boe_textkit::TokenId;
 use std::hint::black_box;
+use std::process::ExitCode;
 use std::time::Instant;
 
 /// Best-of-`runs` wall time of `f`, in milliseconds.
@@ -46,7 +58,28 @@ fn time_ms(runs: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn main() {
+/// Finalize the report: always print the JSON, but only write the
+/// `BENCH_*.json` artifact when no budget tripped.
+fn finish(report: &PerfReport, out_path: &str, tripped: bool) -> ExitCode {
+    print!("{}", report.to_json());
+    if tripped {
+        eprintln!("perf report: deadline tripped — refusing to write {out_path}");
+        return ExitCode::from(8);
+    }
+    let path = std::path::Path::new(out_path);
+    report.write(path).expect("write perf report");
+    eprintln!("perf report written to {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    if boe_chaos::is_enabled() {
+        eprintln!(
+            "perf report: a chaos plan is armed (BOE_CHAOS) — timings would be meaningless; \
+             unset it or set BOE_CHAOS=off"
+        );
+        return ExitCode::from(3);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args
@@ -55,6 +88,26 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_3.json".to_owned());
+    let deadline_ms: Option<u64> = args
+        .iter()
+        .position(|a| a == "--deadline-ms")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--deadline-ms takes milliseconds"));
+    let gov = deadline_ms.map(|ms| {
+        Governor::new(BudgetConfig {
+            deadline_ms: Some(ms),
+            ..Default::default()
+        })
+    });
+    // Polled between measurement sections: once the deadline passes, the
+    // remaining sections are skipped and the artifact write is refused.
+    let tripped = |report: &mut PerfReport| -> bool {
+        let hit = gov.as_ref().is_some_and(|g| g.check_hard().is_some());
+        if hit {
+            report.set_bool("budget_tripped", true);
+        }
+        hit
+    };
 
     let cfg = if smoke {
         WorldConfig {
@@ -89,6 +142,8 @@ fn main() {
 
     let mut report = PerfReport::new("BENCH_3");
     report.set_bool("smoke", smoke);
+    report.set_bool("governed", deadline_ms.is_some());
+    report.set_bool("budget_tripped", false);
     report.set_num(
         "threads_available",
         std::thread::available_parallelism().map_or(1.0, |n| n.get() as f64),
@@ -137,6 +192,10 @@ fn main() {
         black_box(OccurrenceIndex::build(corpus));
     });
     report.record("occurrence_index_build", 1, wall_index_build, runs.max(3));
+    if tripped(&mut report) {
+        boe_par::set_threads(None);
+        return finish(&report, &out_path, true);
+    }
     let inv_stems = StemMap::build(corpus);
 
     let inducer = SenseInducer::new(corpus, SenseInducerConfig::default());
@@ -187,6 +246,10 @@ fn main() {
             black_box(inv.len());
         });
         report.record("inventory_build_indexed", t, wall, runs);
+        if tripped(&mut report) {
+            boe_par::set_threads(None);
+            return finish(&report, &out_path, true);
+        }
     }
 
     // Step IV end-to-end proposal, old vs new scorer, single-threaded.
@@ -206,6 +269,9 @@ fn main() {
     });
     report.record("linkage_naive", 1, wall_naive, runs);
     report.record("linkage_inverted", 1, wall_inverted, runs);
+    if tripped(&mut report) {
+        return finish(&report, &out_path, true);
+    }
 
     // Isolated Step IV scoring kernel: each candidate context against
     // the *entire* term inventory — brute-force merge joins vs the
@@ -242,6 +308,9 @@ fn main() {
     });
     report.record("score_kernel_naive", 1, wall_score_naive, kernel_runs);
     report.record("score_kernel_inverted", 1, wall_score_inverted, kernel_runs);
+    if tripped(&mut report) {
+        return finish(&report, &out_path, true);
+    }
 
     // Step III kernel: the flat similarity matrix over the candidate
     // contexts (unit-normalized), at each thread count.
@@ -293,8 +362,6 @@ fn main() {
         );
     }
 
-    let path = std::path::Path::new(&out_path);
-    report.write(path).expect("write perf report");
-    print!("{}", report.to_json());
-    eprintln!("perf report written to {}", path.display());
+    let late_trip = tripped(&mut report);
+    finish(&report, &out_path, late_trip)
 }

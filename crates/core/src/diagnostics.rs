@@ -7,6 +7,7 @@
 //! distinguish a clean run from a limping one without parsing logs.
 
 use crate::error::Stage;
+use crate::governor::TripKind;
 use std::fmt;
 use std::time::Duration;
 
@@ -52,6 +53,24 @@ pub enum DetectorOutcome {
     },
 }
 
+/// One budget trip observed by the run's
+/// [`Governor`](crate::governor::Governor): which budget fired, where,
+/// and the measured value against its limit.
+#[derive(Debug, Clone)]
+pub struct BudgetTrip {
+    /// Which budget was exhausted.
+    pub kind: TripKind,
+    /// The stage during which the trip was observed.
+    pub stage: Stage,
+    /// One-line human-readable description.
+    pub detail: String,
+    /// The measured value when the trip fired (ms for clock budgets,
+    /// MiB for the allocation budget).
+    pub measured: u64,
+    /// The configured limit in the same unit as `measured`.
+    pub limit: u64,
+}
+
 /// Structured diagnostics of one pipeline run.
 #[derive(Debug, Clone, Default)]
 pub struct RunDiagnostics {
@@ -63,17 +82,40 @@ pub struct RunDiagnostics {
     pub degraded: Vec<Degradation>,
     /// How Step-II detector training went.
     pub detector: DetectorOutcome,
+    /// Budget trips (deadline, cancellation, allocation) observed during
+    /// the run, in the order they fired.
+    pub trips: Vec<BudgetTrip>,
+    /// Stages that were truncated or skipped because a hard budget
+    /// tripped, in workflow order.
+    pub truncated: Vec<Stage>,
 }
 
 impl RunDiagnostics {
-    /// Whether any term was downgraded or any warning raised.
+    /// Whether any term was downgraded, any warning raised, or any
+    /// budget tripped.
     pub fn is_degraded(&self) -> bool {
-        !self.degraded.is_empty() || !self.warnings.is_empty()
+        !self.degraded.is_empty() || !self.warnings.is_empty() || !self.trips.is_empty()
     }
 
-    /// Total number of warnings and degradations.
+    /// Total number of warnings, degradations and budget trips.
     pub fn warning_count(&self) -> usize {
-        self.warnings.len() + self.degraded.len()
+        self.warnings.len() + self.degraded.len() + self.trips.len()
+    }
+
+    /// The first **hard** budget trip of the run, if any (the one the
+    /// CLI maps to an exit code).
+    pub fn hard_trip(&self) -> Option<&BudgetTrip> {
+        self.trips.iter().find(|t| t.kind.is_hard())
+    }
+
+    /// Record a budget trip together with the stages it truncates.
+    pub fn trip(&mut self, trip: BudgetTrip, truncated: impl IntoIterator<Item = Stage>) {
+        self.trips.push(trip);
+        for s in truncated {
+            if !self.truncated.contains(&s) {
+                self.truncated.push(s);
+            }
+        }
     }
 
     /// Record a degradation.
@@ -120,6 +162,17 @@ impl fmt::Display for RunDiagnostics {
         for w in &self.warnings {
             writeln!(f, "warning: {w}")?;
         }
+        for t in &self.trips {
+            writeln!(
+                f,
+                "budget trip: {} during {} — {} ({} / {})",
+                t.kind, t.stage, t.detail, t.measured, t.limit
+            )?;
+        }
+        if !self.truncated.is_empty() {
+            let names: Vec<&str> = self.truncated.iter().map(|s| s.name()).collect();
+            writeln!(f, "truncated stages: {}", names.join(", "))?;
+        }
         for d in &self.degraded {
             writeln!(f, "degraded: {:?} at {} — {}", d.term, d.stage, d.reason)?;
         }
@@ -159,5 +212,42 @@ mod tests {
         assert!(s.contains("term extraction"), "{s}");
         assert!(d.is_degraded());
         assert_eq!(d.warning_count(), 2);
+    }
+
+    #[test]
+    fn trips_degrade_the_run_and_name_truncated_stages() {
+        let mut d = RunDiagnostics::default();
+        assert!(d.hard_trip().is_none());
+        d.trip(
+            BudgetTrip {
+                kind: TripKind::Deadline,
+                stage: Stage::SenseInduction,
+                detail: "wall clock exceeded".into(),
+                measured: 120,
+                limit: 100,
+            },
+            [Stage::SenseInduction, Stage::SemanticLinkage],
+        );
+        assert!(d.is_degraded());
+        assert_eq!(d.warning_count(), 1);
+        assert_eq!(d.hard_trip().unwrap().kind, TripKind::Deadline);
+        let s = d.to_string();
+        assert!(s.contains("budget trip: deadline"), "{s}");
+        assert!(s.contains("truncated stages:"), "{s}");
+        assert!(s.contains("semantic linkage"), "{s}");
+        // Duplicate truncations collapse.
+        d.trip(
+            BudgetTrip {
+                kind: TripKind::StageDeadline,
+                stage: Stage::SemanticLinkage,
+                detail: "stage over soft budget".into(),
+                measured: 9,
+                limit: 5,
+            },
+            [Stage::SemanticLinkage],
+        );
+        assert_eq!(d.truncated.len(), 2);
+        // The soft trip is not a hard trip.
+        assert_eq!(d.hard_trip().unwrap().kind, TripKind::Deadline);
     }
 }

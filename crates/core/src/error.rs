@@ -23,6 +23,8 @@ pub enum Stage {
     SenseInduction,
     /// Step IV — semantic linkage.
     SemanticLinkage,
+    /// Final report assembly, after the per-term fan-out.
+    Reporting,
 }
 
 impl Stage {
@@ -34,6 +36,7 @@ impl Stage {
             Stage::PolysemyDetection => "polysemy detection (step II)",
             Stage::SenseInduction => "sense induction (step III)",
             Stage::SemanticLinkage => "semantic linkage (step IV)",
+            Stage::Reporting => "report assembly",
         }
     }
 }
@@ -78,6 +81,24 @@ pub enum EnrichError {
         /// Number of warnings / degraded terms in the run.
         warnings: usize,
     },
+    /// The run's wall-clock deadline passed before the workflow
+    /// completed; the report (if any) is truncated.
+    DeadlineExceeded {
+        /// Wall-clock milliseconds actually elapsed when the trip fired.
+        elapsed_ms: u64,
+        /// The configured deadline, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The run was cancelled through its
+    /// [`CancelToken`](crate::governor::CancelToken).
+    Cancelled,
+    /// The run allocated more memory than its budget allows.
+    BudgetExhausted {
+        /// Mebibytes allocated beyond the run-start baseline.
+        allocated_mb: u64,
+        /// The configured budget, in mebibytes.
+        budget_mb: u64,
+    },
 }
 
 impl EnrichError {
@@ -92,6 +113,9 @@ impl EnrichError {
             EnrichError::UnknownTerm(_) => 5,
             EnrichError::StageFailure { .. } => 6,
             EnrichError::Degraded { .. } => 7,
+            EnrichError::DeadlineExceeded { .. } => 8,
+            EnrichError::Cancelled => 9,
+            EnrichError::BudgetExhausted { .. } => 10,
         }
     }
 }
@@ -119,6 +143,21 @@ impl fmt::Display for EnrichError {
             EnrichError::Degraded { warnings } => {
                 write!(f, "strict mode: run degraded with {warnings} warning(s)")
             }
+            EnrichError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {elapsed_ms} ms elapsed against a {budget_ms} ms budget"
+            ),
+            EnrichError::Cancelled => write!(f, "run cancelled"),
+            EnrichError::BudgetExhausted {
+                allocated_mb,
+                budget_mb,
+            } => write!(
+                f,
+                "memory budget exhausted: {allocated_mb} MiB allocated against a {budget_mb} MiB budget"
+            ),
         }
     }
 }
@@ -147,6 +186,37 @@ mod tests {
         };
         assert!(sf.to_string().contains("step III"), "{sf}");
         assert!(sf.to_string().contains("cornea"));
+        let dl = EnrichError::DeadlineExceeded {
+            elapsed_ms: 120,
+            budget_ms: 100,
+        };
+        assert!(dl.to_string().contains("120 ms"), "{dl}");
+        let mem = EnrichError::BudgetExhausted {
+            allocated_mb: 64,
+            budget_mb: 32,
+        };
+        assert!(mem.to_string().contains("64 MiB"), "{mem}");
+    }
+
+    #[test]
+    fn governed_exit_codes_are_stable() {
+        assert_eq!(
+            EnrichError::DeadlineExceeded {
+                elapsed_ms: 1,
+                budget_ms: 1
+            }
+            .exit_code(),
+            8
+        );
+        assert_eq!(EnrichError::Cancelled.exit_code(), 9);
+        assert_eq!(
+            EnrichError::BudgetExhausted {
+                allocated_mb: 1,
+                budget_mb: 1
+            }
+            .exit_code(),
+            10
+        );
     }
 
     #[test]
@@ -164,6 +234,15 @@ mod tests {
                 cause: "x".into(),
             },
             EnrichError::Degraded { warnings: 1 },
+            EnrichError::DeadlineExceeded {
+                elapsed_ms: 10,
+                budget_ms: 5,
+            },
+            EnrichError::Cancelled,
+            EnrichError::BudgetExhausted {
+                allocated_mb: 10,
+                budget_mb: 5,
+            },
         ];
         let mut codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
         // Empty corpus/ontology share the invalid-input class.

@@ -21,6 +21,7 @@
 
 pub mod diagnostics;
 pub mod error;
+pub mod governor;
 pub mod linkage;
 pub mod pipeline;
 pub mod polysemy;
@@ -31,5 +32,6 @@ pub mod termex;
 
 pub use diagnostics::RunDiagnostics;
 pub use error::{EnrichError, Stage};
+pub use governor::{BudgetConfig, CancelToken, Governor, TripKind};
 pub use pipeline::{EnrichmentPipeline, PipelineConfig};
 pub use report::EnrichmentReport;

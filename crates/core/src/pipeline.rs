@@ -14,15 +14,26 @@
 //! II–IV *degrades* that one term (monosemic prior, senses/linkage
 //! omitted) and records the reason in [`RunDiagnostics`] instead of
 //! aborting the whole run.
+//!
+//! Runs are also **resource-governed**: a [`Governor`] built from
+//! [`PipelineConfig::budget`] is polled at every stage boundary and
+//! before every item of the per-term fan-out. A *hard* trip (run
+//! deadline, cancellation, allocation budget) truncates the remaining
+//! work — unprocessed terms get score-only reports marked `truncated` —
+//! while a *soft* trip (per-stage deadline) re-runs the remaining terms
+//! under the cheapest Step-III configuration with Step IV skipped.
+//! Either way the partial report is returned with the trip recorded in
+//! its diagnostics; the run never aborts mid-flight.
 
-use crate::diagnostics::{Degradation, DetectorOutcome, RunDiagnostics, StageTiming};
+use crate::diagnostics::{BudgetTrip, Degradation, DetectorOutcome, RunDiagnostics, StageTiming};
 use crate::error::{EnrichError, Stage};
+use crate::governor::{CancelToken, Governor, TripKind};
 use crate::linkage::{LinkerConfig, SemanticLinker};
 use crate::polysemy::detector::{FeatureContext, PolysemyDetector, PolysemyModel};
 use crate::report::{EnrichmentReport, TermReport};
 use crate::senses::{InducedSenses, SenseInducer, SenseInducerConfig};
 use crate::termex::candidates::CandidateOptions;
-use crate::termex::{TermExtractor, TermMeasure};
+use crate::termex::{RankedTerm, TermExtractor, TermMeasure};
 use boe_corpus::occurrence::{OccurrenceIndex, OccurrenceResolution};
 use boe_corpus::Corpus;
 use boe_ontology::Ontology;
@@ -53,6 +64,9 @@ pub struct PipelineConfig {
     /// [`Indexed`]: OccurrenceResolution::Indexed
     /// [`NaiveScan`]: OccurrenceResolution::NaiveScan
     pub resolution: OccurrenceResolution,
+    /// Resource budgets (deadline, per-stage deadline, allocation).
+    /// Unlimited by default.
+    pub budget: crate::governor::BudgetConfig,
 }
 
 impl Default for PipelineConfig {
@@ -65,6 +79,7 @@ impl Default for PipelineConfig {
             senses: SenseInducerConfig::default(),
             linker: LinkerConfig::default(),
             resolution: OccurrenceResolution::default(),
+            budget: crate::governor::BudgetConfig::default(),
         }
     }
 }
@@ -98,31 +113,89 @@ impl EnrichmentPipeline {
         corpus: &Corpus,
         ontology: &Ontology,
     ) -> Result<EnrichmentReport, EnrichError> {
+        self.run_governed(corpus, ontology, Governor::new(self.config.budget))
+    }
+
+    /// [`run`](Self::run) with an externally held [`CancelToken`]: any
+    /// thread can cancel the run, which winds down at its next
+    /// cooperative poll and returns the truncated report with the
+    /// cancellation recorded in its diagnostics.
+    pub fn run_with_token(
+        &self,
+        corpus: &Corpus,
+        ontology: &Ontology,
+        cancel: CancelToken,
+    ) -> Result<EnrichmentReport, EnrichError> {
+        self.run_governed(
+            corpus,
+            ontology,
+            Governor::with_token(self.config.budget, cancel),
+        )
+    }
+
+    /// [`run`](Self::run) under a caller-constructed [`Governor`]. See
+    /// the module docs for the governance contract (hard trips truncate,
+    /// soft trips degrade, the run never aborts mid-flight).
+    pub fn run_governed(
+        &self,
+        corpus: &Corpus,
+        ontology: &Ontology,
+        gov: Governor,
+    ) -> Result<EnrichmentReport, EnrichError> {
         let mut diag = RunDiagnostics::default();
-        validate(corpus, ontology, &mut diag)?;
 
-        // Step I: extract and rank candidates.
-        let t0 = Instant::now();
-        let extractor = TermExtractor::new(corpus, self.config.candidates);
-        let ranked = extractor.top(corpus, self.config.measure, self.config.top_terms);
-
-        // Candidates already in the ontology are training data for Step
-        // II, not enrichment targets.
-        let mut already_known = Vec::new();
-        let mut new_terms = Vec::new();
-        for r in ranked {
-            if ontology.contains_term(&r.surface) {
-                already_known.push(r.surface);
-            } else {
-                new_terms.push(r);
-            }
+        // Upfront validation. The chaos site sits inside the guard so an
+        // injected panic surfaces as a typed stage failure.
+        gov.begin_stage();
+        guarded_stage(Stage::Validation, || {
+            boe_chaos::inject(boe_chaos::sites::VALIDATE);
+            validate(corpus, ontology, &mut diag)
+        })??;
+        if let Some(trip) = gov.check_hard() {
+            record_trip(&gov, &mut diag, trip, Stage::Validation, ALL_STEPS);
+            return Ok(EnrichmentReport {
+                terms: Vec::new(),
+                already_known: Vec::new(),
+                diagnostics: diag,
+            });
         }
+
+        // Step I: extract and rank candidates. Candidates already in the
+        // ontology are training data for Step II, not enrichment targets.
+        gov.begin_stage();
+        let t0 = Instant::now();
+        let (already_known, new_terms) = guarded_stage(Stage::TermExtraction, || {
+            boe_chaos::inject(boe_chaos::sites::STEP1_EXTRACT);
+            let extractor = TermExtractor::new(corpus, self.config.candidates);
+            let ranked = extractor.top(corpus, self.config.measure, self.config.top_terms);
+            let mut already_known = Vec::new();
+            let mut new_terms = Vec::new();
+            for r in ranked {
+                if ontology.contains_term(&r.surface) {
+                    already_known.push(r.surface);
+                } else {
+                    new_terms.push(r);
+                }
+            }
+            (already_known, new_terms)
+        })?;
         diag.timings.push(StageTiming {
             stage: Stage::TermExtraction,
             elapsed: t0.elapsed(),
         });
         if new_terms.is_empty() {
             diag.warn("step I extracted no new candidate terms");
+        }
+        if let Some(trip) = gov.check_hard() {
+            record_trip(&gov, &mut diag, trip, Stage::TermExtraction, FANOUT_STEPS);
+            return Ok(EnrichmentReport {
+                terms: new_terms
+                    .iter()
+                    .map(|r| truncated_report(&r.surface, r.score))
+                    .collect(),
+                already_known,
+                diagnostics: diag,
+            });
         }
 
         // One occurrence index per run: every remaining stage (detector
@@ -131,25 +204,88 @@ impl EnrichmentPipeline {
         // scanning the corpus per phrase.
         let occ = Arc::new(self.config.resolution.build(corpus));
 
-        // Step II: train the detector on ontology-derived weak labels.
+        // Step II: train the detector on ontology-derived weak labels. A
+        // panic during training (or from the chaos site) degrades to the
+        // fallback detector instead of failing the run.
+        gov.begin_stage();
         let t0 = Instant::now();
-        let features = FeatureContext::build_with_index(corpus, Arc::clone(&occ));
-        let detector = self.train_detector(corpus, ontology, &occ, &features, &mut diag);
+        let features = guarded_stage(Stage::PolysemyDetection, || {
+            FeatureContext::build_with_index(corpus, Arc::clone(&occ))
+        })?;
+        let detector = match catch_unwind(AssertUnwindSafe(|| {
+            boe_chaos::inject(boe_chaos::sites::STEP2_TRAIN);
+            self.train_detector(corpus, ontology, &occ, &features, &mut diag)
+        })) {
+            Ok(d) => d,
+            Err(payload) => {
+                let reason = panic_message(payload);
+                diag.detector = DetectorOutcome::Fallback {
+                    reason: format!("training panicked: {reason}"),
+                };
+                diag.degrade(
+                    "",
+                    Stage::PolysemyDetection,
+                    format!("detector training panicked: {reason}"),
+                );
+                None
+            }
+        };
         let mut detect_time = t0.elapsed();
+        if let Some(trip) = gov.check_hard() {
+            record_trip(
+                &gov,
+                &mut diag,
+                trip,
+                Stage::PolysemyDetection,
+                FANOUT_STEPS,
+            );
+            diag.timings.push(StageTiming {
+                stage: Stage::PolysemyDetection,
+                elapsed: detect_time,
+            });
+            return Ok(EnrichmentReport {
+                terms: new_terms
+                    .iter()
+                    .map(|r| truncated_report(&r.surface, r.score))
+                    .collect(),
+                already_known,
+                diagnostics: diag,
+            });
+        }
 
-        // Step III/IV setup.
+        // Step III/IV setup: the inducer and linker are corpus-wide and
+        // shared by every term; a panic here cannot be downgraded.
+        gov.begin_stage();
         let t0 = Instant::now();
-        let inducer = SenseInducer::with_index(corpus, self.config.senses, Arc::clone(&occ));
+        let (inducer, linker) = guarded_stage(Stage::SenseInduction, || {
+            boe_chaos::inject(boe_chaos::sites::STEP34_SETUP);
+            let inducer = SenseInducer::with_index(corpus, self.config.senses, Arc::clone(&occ));
+            let linker = SemanticLinker::with_candidates_indexed(
+                corpus,
+                ontology,
+                self.config.linker,
+                &[],
+                Arc::clone(&occ),
+            );
+            (inducer, linker)
+        })?;
         let mut induce_time = t0.elapsed();
-        let t0 = Instant::now();
-        let linker = SemanticLinker::with_candidates_indexed(
-            corpus,
-            ontology,
-            self.config.linker,
-            &[],
-            Arc::clone(&occ),
-        );
-        let mut link_time = t0.elapsed();
+        let mut link_time = Duration::ZERO;
+        if let Some(trip) = gov.check_hard() {
+            record_trip(&gov, &mut diag, trip, Stage::SenseInduction, FANOUT_STEPS);
+            diag.timings.push(StageTiming {
+                stage: Stage::PolysemyDetection,
+                elapsed: detect_time,
+            });
+            return Ok(EnrichmentReport {
+                terms: new_terms
+                    .iter()
+                    .map(|r| truncated_report(&r.surface, r.score))
+                    .collect(),
+                already_known,
+                diagnostics: diag,
+            });
+        }
 
         // Steps II–IV fan out across candidate terms: each term is
         // independent given the trained detector, the inducer and the
@@ -157,70 +293,30 @@ impl EnrichmentPipeline {
         // (`boe-par`). Determinism contract: outcomes come back in term
         // order, so reports, degradations (term order, stage order within
         // a term) and timing sums are identical to the serial loop at any
-        // thread count.
-        let outcomes: Vec<TermOutcome> = boe_par::par_map(&new_terms, |r| {
-            let mut out = TermOutcome::default();
-            let Some(tokens) = corpus.phrase_ids(&r.surface) else {
-                out.degraded.push(Degradation {
-                    term: r.surface.clone(),
-                    stage: Stage::TermExtraction,
-                    reason: "candidate tokens missing from the corpus vocabulary".to_owned(),
-                });
-                return out;
-            };
-
-            // Step II: classify; a failure falls back to the monosemic
-            // majority prior.
-            let t0 = Instant::now();
-            let polysemic = guarded_term(
-                &mut out.degraded,
-                Stage::PolysemyDetection,
-                &r.surface,
-                || match &detector {
-                    Some(d) => d.is_polysemic(&features.features(&tokens, &r.surface)),
-                    None => false,
-                },
-                || false,
-            );
-            out.detect = t0.elapsed();
-
-            // Step III: a failure downgrades to a single omitted sense.
-            let t0 = Instant::now();
-            let senses = guarded_term(
-                &mut out.degraded,
-                Stage::SenseInduction,
-                &r.surface,
-                || inducer.induce(&tokens, polysemic),
-                || InducedSenses {
-                    k: 1,
-                    concepts: Vec::new(),
-                    assignments: Vec::new(),
-                },
-            );
-            out.induce = t0.elapsed();
-
-            // Step IV: a failure omits the propositions.
-            let t0 = Instant::now();
-            let propositions = guarded_term(
-                &mut out.degraded,
-                Stage::SemanticLinkage,
-                &r.surface,
-                || linker.propose(&r.surface),
-                Vec::new,
-            );
-            out.link = t0.elapsed();
-
-            out.report = Some(TermReport {
-                surface: r.surface.clone(),
-                term_score: r.score,
-                polysemic,
-                senses,
-                propositions,
-            });
-            out
-        });
+        // thread count. The governor is polled before every item; an
+        // interruption keeps the deterministic completed prefix.
+        gov.begin_stage();
+        let stop = || gov.check().is_some();
+        let fan = catch_unwind(AssertUnwindSafe(|| {
+            boe_chaos::inject(boe_chaos::sites::FANOUT);
+            boe_par::try_par_map(&new_terms, &stop, |r| {
+                self.process_term(
+                    corpus,
+                    r,
+                    detector.as_ref(),
+                    &features,
+                    &inducer,
+                    Some(&linker),
+                )
+            })
+        }));
+        let (outcomes, fanout_panic) = match fan {
+            Ok(o) => (o.into_results(), None),
+            Err(payload) => (Vec::new(), Some(panic_message(payload))),
+        };
 
         let mut terms = Vec::with_capacity(new_terms.len());
+        let processed = outcomes.len();
         for o in outcomes {
             detect_time += o.detect;
             induce_time += o.induce;
@@ -228,6 +324,103 @@ impl EnrichmentPipeline {
             diag.degraded.extend(o.degraded);
             terms.extend(o.report);
         }
+
+        let remaining = &new_terms[processed..];
+        if let Some(msg) = fanout_panic {
+            // A panic that escaped the per-term guards (e.g. the chaos
+            // PAR_WORKER or FANOUT site) degrades Steps II–IV wholesale.
+            diag.degrade(
+                "",
+                Stage::PolysemyDetection,
+                format!("fan-out panicked: {msg}; steps II–IV skipped for all terms"),
+            );
+            terms.extend(
+                remaining
+                    .iter()
+                    .map(|r| truncated_report(&r.surface, r.score)),
+            );
+        } else if !remaining.is_empty() {
+            if let Some(trip) = gov.check_hard() {
+                // Hard trip mid-fan-out: keep the completed prefix, give
+                // the rest score-only truncated reports.
+                record_trip(&gov, &mut diag, trip, Stage::SenseInduction, FANOUT_STEPS);
+                terms.extend(
+                    remaining
+                        .iter()
+                        .map(|r| truncated_report(&r.surface, r.score)),
+                );
+            } else {
+                // Soft stage-deadline trip: re-run the remaining terms
+                // under the cheapest Step-III configuration with Step IV
+                // skipped, on a fresh stage clock.
+                record_trip(
+                    &gov,
+                    &mut diag,
+                    TripKind::StageDeadline,
+                    Stage::SenseInduction,
+                    &[],
+                );
+                diag.degrade(
+                    "",
+                    Stage::SenseInduction,
+                    format!(
+                        "stage deadline: {} term(s) re-run with the cheapest induction, linkage skipped",
+                        remaining.len()
+                    ),
+                );
+                gov.begin_stage();
+                let cheap = SenseInducer::with_index(
+                    corpus,
+                    self.config.senses.cheapest(),
+                    Arc::clone(&occ),
+                );
+                let stop_hard = || gov.check_hard().is_some();
+                let cheap_fan = catch_unwind(AssertUnwindSafe(|| {
+                    boe_par::try_par_map(remaining, &stop_hard, |r| {
+                        self.process_term(corpus, r, detector.as_ref(), &features, &cheap, None)
+                    })
+                }));
+                match cheap_fan {
+                    Ok(o) => {
+                        let partial = o.into_results();
+                        let cheap_done = partial.len();
+                        for out in partial {
+                            detect_time += out.detect;
+                            induce_time += out.induce;
+                            diag.degraded.extend(out.degraded);
+                            terms.extend(out.report);
+                        }
+                        let rest = &remaining[cheap_done..];
+                        if !rest.is_empty() {
+                            if let Some(trip) = gov.check_hard() {
+                                record_trip(
+                                    &gov,
+                                    &mut diag,
+                                    trip,
+                                    Stage::SenseInduction,
+                                    FANOUT_STEPS,
+                                );
+                            }
+                            terms
+                                .extend(rest.iter().map(|r| truncated_report(&r.surface, r.score)));
+                        }
+                    }
+                    Err(payload) => {
+                        diag.degrade(
+                            "",
+                            Stage::SenseInduction,
+                            format!("cheap fan-out panicked: {}", panic_message(payload)),
+                        );
+                        terms.extend(
+                            remaining
+                                .iter()
+                                .map(|r| truncated_report(&r.surface, r.score)),
+                        );
+                    }
+                }
+            }
+        }
+
         for (stage, elapsed) in [
             (Stage::PolysemyDetection, detect_time),
             (Stage::SenseInduction, induce_time),
@@ -235,11 +428,122 @@ impl EnrichmentPipeline {
         ] {
             diag.timings.push(StageTiming { stage, elapsed });
         }
+
+        // Report assembly, with a final late-trip poll so a budget that
+        // tripped after the last fan-out item still reaches the caller.
+        guarded_stage(Stage::Reporting, || {
+            boe_chaos::inject(boe_chaos::sites::REPORT)
+        })?;
+        if diag.hard_trip().is_none() {
+            if let Some(trip) = gov.check_hard() {
+                record_trip(&gov, &mut diag, trip, Stage::Reporting, &[]);
+            }
+        }
         Ok(EnrichmentReport {
             terms,
             already_known,
             diagnostics: diag,
         })
+    }
+
+    /// Steps II–IV for one candidate term. `linker` is `None` in the
+    /// degraded cheap pass, which skips Step IV entirely. Every stage is
+    /// individually guarded: a panic degrades the term, never the run.
+    fn process_term(
+        &self,
+        corpus: &Corpus,
+        r: &RankedTerm,
+        detector: Option<&PolysemyDetector>,
+        features: &FeatureContext<'_>,
+        inducer: &SenseInducer<'_>,
+        linker: Option<&SemanticLinker<'_>>,
+    ) -> TermOutcome {
+        let mut out = TermOutcome::default();
+        // Chaos faults are keyed by the term surface, not call order, so
+        // injected behaviour is identical at any thread count.
+        let chaos_key = boe_chaos::key_for(&r.surface);
+        let Some(tokens) = corpus.phrase_ids(&r.surface) else {
+            out.degraded.push(Degradation {
+                term: r.surface.clone(),
+                stage: Stage::TermExtraction,
+                reason: "candidate tokens missing from the corpus vocabulary".to_owned(),
+            });
+            return out;
+        };
+
+        // Step II: classify; a failure falls back to the monosemic
+        // majority prior.
+        let t0 = Instant::now();
+        let polysemic = guarded_term(
+            &mut out.degraded,
+            Stage::PolysemyDetection,
+            &r.surface,
+            || {
+                boe_chaos::inject_keyed(boe_chaos::sites::TERM_DETECT, chaos_key);
+                match detector {
+                    Some(d) => d.is_polysemic(&features.features(&tokens, &r.surface)),
+                    None => false,
+                }
+            },
+            || false,
+        );
+        out.detect = t0.elapsed();
+
+        // Step III: a failure downgrades to a single omitted sense.
+        let t0 = Instant::now();
+        let senses = guarded_term(
+            &mut out.degraded,
+            Stage::SenseInduction,
+            &r.surface,
+            || {
+                boe_chaos::inject_keyed(boe_chaos::sites::TERM_INDUCE, chaos_key);
+                inducer.induce(&tokens, polysemic)
+            },
+            || InducedSenses {
+                k: 1,
+                concepts: Vec::new(),
+                assignments: Vec::new(),
+                repaired: 0,
+            },
+        );
+        if senses.repaired > 0 {
+            out.degraded.push(Degradation {
+                term: r.surface.clone(),
+                stage: Stage::SenseInduction,
+                reason: format!(
+                    "{} context vector(s) repaired (non-finite weights dropped)",
+                    senses.repaired
+                ),
+            });
+        }
+        out.induce = t0.elapsed();
+
+        // Step IV: a failure omits the propositions.
+        let t0 = Instant::now();
+        let propositions = match linker {
+            Some(l) => guarded_term(
+                &mut out.degraded,
+                Stage::SemanticLinkage,
+                &r.surface,
+                || {
+                    boe_chaos::inject_keyed(boe_chaos::sites::TERM_LINK, chaos_key);
+                    l.propose(&r.surface)
+                },
+                Vec::new,
+            ),
+            None => Vec::new(),
+        };
+        out.link = t0.elapsed();
+
+        out.report = Some(TermReport {
+            surface: r.surface.clone(),
+            term_score: r.score,
+            polysemic,
+            senses,
+            propositions,
+            truncated: false,
+        });
+        out
     }
 
     /// Weak supervision for Step II: ontology terms found in the corpus,
@@ -289,6 +593,67 @@ impl EnrichmentPipeline {
     }
 }
 
+/// The four workflow steps, for naming what a pre-Step-I trip truncates.
+const ALL_STEPS: &[Stage] = &[
+    Stage::TermExtraction,
+    Stage::PolysemyDetection,
+    Stage::SenseInduction,
+    Stage::SemanticLinkage,
+];
+
+/// The per-term fan-out stages, truncated together by a mid-run trip.
+const FANOUT_STEPS: &[Stage] = &[
+    Stage::PolysemyDetection,
+    Stage::SenseInduction,
+    Stage::SemanticLinkage,
+];
+
+/// Record a budget trip in the diagnostics with the governor's measured
+/// value and limit, naming the stages the trip truncates.
+fn record_trip(
+    gov: &Governor,
+    diag: &mut RunDiagnostics,
+    kind: TripKind,
+    stage: Stage,
+    truncated: &[Stage],
+) {
+    let (measured, limit) = gov.describe(kind);
+    let detail = match kind {
+        TripKind::Deadline => "wall-clock deadline exceeded",
+        TripKind::StageDeadline => "stage exceeded its soft deadline",
+        TripKind::Cancelled => "cancellation requested",
+        TripKind::AllocBudget => "allocation budget exhausted",
+    };
+    diag.trip(
+        BudgetTrip {
+            kind,
+            stage,
+            detail: detail.to_owned(),
+            measured,
+            limit,
+        },
+        truncated.iter().copied(),
+    );
+}
+
+/// A score-only report for a term whose Steps II–IV were truncated by a
+/// hard budget trip (or a wholesale fan-out failure).
+fn truncated_report(surface: &str, score: f64) -> TermReport {
+    TermReport {
+        surface: surface.to_owned(),
+        term_score: score,
+        polysemic: false,
+        senses: InducedSenses {
+            k: 1,
+            concepts: Vec::new(),
+            assignments: Vec::new(),
+            repaired: 0,
+        },
+        propositions: Vec::new(),
+        truncated: true,
+    }
+}
+
 /// Upfront input validation: hard errors for unusable input, warnings
 /// for suspicious-but-usable input.
 fn validate(
@@ -313,6 +678,13 @@ fn validate(
     }
     if ontology.len() == 1 {
         diag.warn("single-concept ontology: linkage has no structure to propose into");
+    }
+    let hygiene = corpus.hygiene();
+    if !hygiene.is_clean() {
+        diag.warn(format!(
+            "corpus hygiene: {} empty document(s) and {} empty sentence(s) tolerated",
+            hygiene.empty_docs, hygiene.empty_sentences
+        ));
     }
     Ok(())
 }
@@ -344,20 +716,36 @@ fn guarded_term<T>(
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(v) => v,
         Err(payload) => {
-            let reason = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_owned()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "panic with non-string payload".to_owned()
-            };
             degraded.push(Degradation {
                 term: term.to_owned(),
                 stage,
-                reason,
+                reason: panic_message(payload),
             });
             fallback()
         }
+    }
+}
+
+/// Run a corpus-wide stage, converting a panic into a typed
+/// [`EnrichError::StageFailure`] carrying the extracted panic message.
+fn guarded_stage<T>(stage: Stage, f: impl FnOnce() -> T) -> Result<T, EnrichError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| EnrichError::StageFailure {
+        stage,
+        term: String::new(),
+        cause: panic_message(payload),
+    })
+}
+
+/// Extract a human-readable message from a panic payload: `&str` and
+/// `String` payloads (the overwhelmingly common cases) are passed
+/// through verbatim, anything else gets a generic label.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
     }
 }
 

@@ -19,6 +19,10 @@ pub struct TermReport {
     /// Step-IV propositions (may be empty when the term has no ontology
     /// neighbourhood).
     pub propositions: Vec<Proposition>,
+    /// Whether Steps II–IV were skipped for this term because a hard
+    /// budget tripped (deadline, cancellation, allocation) or the whole
+    /// fan-out failed: the report then carries only the Step-I score.
+    pub truncated: bool,
 }
 
 /// The full enrichment report for one corpus + ontology.
@@ -65,7 +69,7 @@ impl fmt::Display for EnrichmentReport {
         for t in &self.terms {
             writeln!(
                 f,
-                "  {:<30} score {:>8.3}  {}  k={}  {} propositions",
+                "  {:<30} score {:>8.3}  {}  k={}  {} propositions{}",
                 t.surface,
                 t.term_score,
                 if t.polysemic {
@@ -74,7 +78,8 @@ impl fmt::Display for EnrichmentReport {
                     "monosemic "
                 },
                 t.senses.k,
-                t.propositions.len()
+                t.propositions.len(),
+                if t.truncated { "  [truncated]" } else { "" }
             )?;
             for (i, p) in t.propositions.iter().enumerate().take(3) {
                 writeln!(
@@ -123,8 +128,10 @@ mod tests {
                     k: 1,
                     concepts: vec![],
                     assignments: vec![],
+                    repaired: 0,
                 },
                 propositions: vec![],
+                truncated: false,
             }],
             already_known: vec!["cornea".into()],
             diagnostics: RunDiagnostics::default(),

@@ -44,6 +44,21 @@ impl Default for SenseInducerConfig {
     }
 }
 
+impl SenseInducerConfig {
+    /// The cheapest defensible configuration, used when a soft stage
+    /// deadline trips mid-run: direct clustering, the Ak index (a plain
+    /// within-cluster sum, the cheapest internal index) and k fixed at 2
+    /// so no k sweep happens at all.
+    pub fn cheapest(self) -> Self {
+        SenseInducerConfig {
+            algorithm: Algorithm::Direct,
+            index: InternalIndex::Ak,
+            k_range: (2, 2),
+            ..self
+        }
+    }
+}
+
 /// The induced senses of one term.
 #[derive(Debug, Clone)]
 pub struct InducedSenses {
@@ -54,6 +69,9 @@ pub struct InducedSenses {
     /// The cluster assignment of each occurrence context (empty when the
     /// term had no contexts).
     pub assignments: Vec<usize>,
+    /// Number of context vectors that had to be repaired (non-finite
+    /// weights dropped) before clustering.
+    pub repaired: usize,
 }
 
 /// Step-III sense inducer bound to one corpus.
@@ -94,14 +112,43 @@ impl<'c> SenseInducer<'c> {
     /// The per-occurrence context vectors of a term under the configured
     /// representation.
     pub fn contexts(&self, phrase: &[TokenId]) -> Vec<SparseVector> {
-        build_representation(
+        self.contexts_repaired(phrase).0
+    }
+
+    /// [`contexts`](Self::contexts) plus the number of vectors that
+    /// needed repair: non-finite weights (whether produced upstream or
+    /// injected by the `term.induce` chaos site) are dropped and the
+    /// norm recomputed, so clustering never sees NaN.
+    pub fn contexts_repaired(&self, phrase: &[TokenId]) -> (Vec<SparseVector>, usize) {
+        let mut ctxs = build_representation(
             self.corpus,
             &self.occ,
             phrase,
             self.config.representation,
             &self.stems,
             self.config.scope,
-        )
+        );
+        // Chaos corruption is keyed by (phrase, context position), never
+        // by call order, so a corrupted run stays deterministic at any
+        // thread count.
+        if boe_chaos::is_enabled() {
+            let base = Self::phrase_key(phrase);
+            for (i, v) in ctxs.iter_mut().enumerate() {
+                let key = base ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                match boe_chaos::corruption(boe_chaos::sites::TERM_INDUCE, key) {
+                    Some(boe_chaos::Corruption::MakeNan) => v.map_values(|_| f64::NAN),
+                    Some(boe_chaos::Corruption::MakeEmpty) => v.map_values(|_| f64::INFINITY),
+                    None => {}
+                }
+            }
+        }
+        let mut repaired = 0;
+        for v in &mut ctxs {
+            if v.sanitize() > 0 {
+                repaired += 1;
+            }
+        }
+        (ctxs, repaired)
     }
 
     /// Predict only the number of senses of a (polysemic) term.
@@ -124,12 +171,13 @@ impl<'c> SenseInducer<'c> {
     /// monosemous terms get k = 1 ("note that k = 1 when the candidate
     /// term is not polysemic").
     pub fn induce(&self, phrase: &[TokenId], is_polysemic: bool) -> InducedSenses {
-        let ctxs = self.contexts(phrase);
+        let (ctxs, repaired) = self.contexts_repaired(phrase);
         if ctxs.is_empty() {
             return InducedSenses {
                 k: 1,
                 concepts: Vec::new(),
                 assignments: Vec::new(),
+                repaired,
             };
         }
         let solution: ClusterSolution = if !is_polysemic || ctxs.len() < 2 {
@@ -156,7 +204,18 @@ impl<'c> SenseInducer<'c> {
             k: solution.k(),
             concepts,
             assignments: solution.assignments().to_vec(),
+            repaired,
         }
+    }
+
+    /// Stable key for a phrase (FNV-1a over its token ids), used to key
+    /// deterministic chaos corruption by term rather than by call order.
+    fn phrase_key(phrase: &[TokenId]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for t in phrase {
+            h = (h ^ u64::from(t.0)).wrapping_mul(0x100000001B3);
+        }
+        h
     }
 
     /// Resolve a bag-of-words feature dimension back to its stem string

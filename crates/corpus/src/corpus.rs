@@ -73,6 +73,40 @@ impl Corpus {
             .map(|w| self.vocab.get(&w.to_lowercase()))
             .collect()
     }
+
+    /// Ingestion hygiene counters: documents with no tokens at all and
+    /// zero-length sentences that survived ingestion. The builder repairs
+    /// what it can at load time ([`CorpusBuilder::add_text`] and
+    /// [`CorpusBuilder::add_tokenized`] both drop empty sentences), so
+    /// nonzero counters here mean a document was empty to begin with —
+    /// usable but worth a validation warning.
+    pub fn hygiene(&self) -> CorpusHygiene {
+        let mut h = CorpusHygiene::default();
+        for d in &self.docs {
+            if d.token_count() == 0 {
+                h.empty_docs += 1;
+            }
+            h.empty_sentences += d.sentences.iter().filter(|s| s.is_empty()).count();
+        }
+        h
+    }
+}
+
+/// What [`Corpus::hygiene`] found: counts of degenerate-but-tolerated
+/// ingestion artefacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusHygiene {
+    /// Documents containing no tokens.
+    pub empty_docs: usize,
+    /// Sentences containing no tokens (should be repaired at load time).
+    pub empty_sentences: usize,
+}
+
+impl CorpusHygiene {
+    /// Whether anything suspicious was found.
+    pub fn is_clean(&self) -> bool {
+        self.empty_docs == 0 && self.empty_sentences == 0
+    }
 }
 
 /// Incremental corpus builder: feed raw texts, get a [`Corpus`].
@@ -131,11 +165,14 @@ impl CorpusBuilder {
     }
 
     /// Add a pre-tokenized sentence list as one document (used by the
-    /// synthetic generators, which emit tokens directly).
+    /// synthetic generators, which emit tokens directly). Zero-length
+    /// sentences are repaired away at load time, matching
+    /// [`add_text`](Self::add_text)'s behaviour for raw text.
     pub fn add_tokenized(&mut self, sentences: Vec<(Vec<String>, Vec<PosTag>)>) -> DocId {
         let id = DocId(u32::try_from(self.docs.len()).expect("more than u32::MAX documents"));
         let sents = sentences
             .into_iter()
+            .filter(|(words, _)| !words.is_empty())
             .map(|(words, tags)| {
                 let ids: Vec<TokenId> = words
                     .iter()
@@ -247,5 +284,36 @@ mod tests {
         assert_eq!(id, DocId(0));
         let the = c.vocab().get("the").expect("interned");
         assert!(c.is_stopword(the));
+    }
+
+    #[test]
+    fn add_tokenized_repairs_empty_sentences() {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_tokenized(vec![
+            (Vec::new(), Vec::new()),
+            (vec!["cornea".into()], vec![PosTag::Noun]),
+            (Vec::new(), Vec::new()),
+        ]);
+        let c = b.build();
+        assert_eq!(
+            c.doc(DocId(0)).sentences.len(),
+            1,
+            "empty sentences dropped"
+        );
+        assert!(c.hygiene().is_clean());
+    }
+
+    #[test]
+    fn hygiene_flags_empty_documents() {
+        let mut b = CorpusBuilder::new(Language::English);
+        b.add_text("the cornea heals.");
+        b.add_text("");
+        b.add_tokenized(Vec::new());
+        let c = b.build();
+        let h = c.hygiene();
+        assert_eq!(h.empty_docs, 2);
+        assert_eq!(h.empty_sentences, 0);
+        assert!(!h.is_clean());
+        assert!(small_corpus().hygiene().is_clean());
     }
 }

@@ -30,7 +30,7 @@ pub mod synth;
 pub mod vector;
 pub mod weighting;
 
-pub use corpus::{Corpus, CorpusBuilder};
+pub use corpus::{Corpus, CorpusBuilder, CorpusHygiene};
 pub use doc::{DocId, Document, Sentence};
 pub use occurrence::{OccurrenceIndex, OccurrenceResolution};
 pub use vector::SparseVector;

@@ -181,6 +181,31 @@ impl SparseVector {
         out
     }
 
+    /// Apply `f` to every stored value in place, dropping entries that
+    /// become zero and recomputing the cached norm.
+    pub fn map_values(&mut self, f: impl Fn(f64) -> f64) {
+        for (_, v) in &mut self.entries {
+            *v = f(*v);
+        }
+        self.entries.retain(|(_, v)| *v != 0.0);
+        self.norm = compute_norm(&self.entries);
+    }
+
+    /// Drop non-finite entries (NaN, ±∞) and recompute the cached norm,
+    /// returning how many entries were removed. Downstream kernels
+    /// (cosine, clustering) assume finite weights; corrupted or
+    /// ill-conditioned inputs are repaired here instead of poisoning
+    /// every similarity they touch.
+    pub fn sanitize(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(_, v)| v.is_finite());
+        let dropped = before - self.entries.len();
+        if dropped > 0 {
+            self.norm = compute_norm(&self.entries);
+        }
+        dropped
+    }
+
     /// Add `other` into `self` (merge).
     pub fn add_assign(&mut self, other: &SparseVector) {
         if other.is_empty() {
@@ -272,6 +297,31 @@ mod tests {
 
     fn v(pairs: &[(u32, f64)]) -> SparseVector {
         SparseVector::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn sanitize_drops_non_finite_and_fixes_norm() {
+        let mut x = v(&[(0, 3.0), (1, 4.0)]);
+        assert_eq!(x.sanitize(), 0, "finite vectors are untouched");
+        assert_eq!(x.norm(), 5.0);
+        x.map_values(|val| if val > 3.5 { f64::NAN } else { val });
+        assert!(x.norm().is_nan());
+        assert_eq!(x.sanitize(), 1);
+        assert_eq!(x.entries(), &[(0, 3.0)]);
+        assert_eq!(x.norm(), 3.0);
+        let mut y = v(&[(0, 1.0), (2, 2.0)]);
+        y.map_values(|_| f64::INFINITY);
+        assert_eq!(y.sanitize(), 2);
+        assert!(y.is_empty());
+        assert_eq!(y.norm(), 0.0);
+    }
+
+    #[test]
+    fn map_values_drops_zeros_and_recomputes_norm() {
+        let mut x = v(&[(0, 3.0), (1, 4.0)]);
+        x.map_values(|val| if val > 3.5 { 0.0 } else { val * 2.0 });
+        assert_eq!(x.entries(), &[(0, 6.0)]);
+        assert_eq!(x.norm(), 6.0);
     }
 
     #[test]

@@ -27,6 +27,26 @@
 //! of 1 (or fewer items than [`MIN_PARALLEL_ITEMS`]) short-circuits to
 //! the plain serial loop — no threads are spawned at all, so `BOE_THREADS=1`
 //! is a true serial baseline.
+//!
+//! ## Cooperative early exit
+//!
+//! The `try_*` combinators ([`try_par_map`], [`try_par_map_indexed`],
+//! [`try_par_map_reduce`]) additionally poll a caller-supplied stop
+//! predicate **before every item**. When it first returns `true` the
+//! workers stop and the call returns [`ParOutcome::Interrupted`] holding
+//! the **deterministic completed prefix**: the longest contiguous run of
+//! leading items that finished. Because chunks are contiguous and
+//! reassembly is in order, that prefix is always bit-identical to the
+//! first `prefix.len()` results of the serial loop — work completed
+//! beyond the first gap is discarded rather than surfaced out of order.
+//! A worker panic still propagates (first panicking chunk in index
+//! order) and the scoped join guarantees no interrupted or poisoned
+//! worker can leak or deadlock the scope.
+//!
+//! Every worker (and the serial short-circuit) hits the
+//! `boe_chaos::sites::PAR_WORKER` injection site once before starting
+//! its chunk, keyed by the chunk's start index — a no-op unless a chaos
+//! plan is armed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,6 +88,38 @@ pub fn threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Outcome of a cancellable parallel map: either every item completed,
+/// or the stop predicate fired and only a contiguous leading prefix of
+/// results is returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParOutcome<U> {
+    /// All `n` results, in input order.
+    Complete(Vec<U>),
+    /// The stop predicate fired; `prefix` holds the results of items
+    /// `0..prefix.len()`, bit-identical to the serial loop's first
+    /// `prefix.len()` outputs. Items beyond the first gap are discarded
+    /// even if some later chunk had finished them.
+    Interrupted {
+        /// The deterministic completed prefix, in input order.
+        prefix: Vec<U>,
+    },
+}
+
+impl<U> ParOutcome<U> {
+    /// Whether the stop predicate cut the run short.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, ParOutcome::Interrupted { .. })
+    }
+
+    /// The results regardless of outcome (full vector or prefix).
+    pub fn into_results(self) -> Vec<U> {
+        match self {
+            ParOutcome::Complete(v) => v,
+            ParOutcome::Interrupted { prefix } => prefix,
+        }
+    }
+}
+
 /// Map `f` over `0..n` in parallel, returning results in index order.
 ///
 /// Bit-identical to `(0..n).map(f).collect()` for pure `f`.
@@ -87,25 +139,87 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    match chunked_run(n, min_items, None::<&fn() -> bool>, f) {
+        ParOutcome::Complete(v) => v,
+        // Without a stop predicate no worker ever stops early.
+        ParOutcome::Interrupted { .. } => unreachable!("no stop predicate"),
+    }
+}
+
+/// [`par_map_indexed`] with cooperative cancellation: `should_stop` is
+/// polled before every item; once it returns `true` the workers wind
+/// down and the deterministic completed prefix is returned. The
+/// predicate must be monotonic (once `true`, stay `true`) for the
+/// prefix guarantee to be meaningful.
+pub fn try_par_map_indexed<U, F, S>(n: usize, should_stop: &S, f: F) -> ParOutcome<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+    S: Fn() -> bool + Sync,
+{
+    chunked_run(n, MIN_PARALLEL_ITEMS, Some(should_stop), f)
+}
+
+/// The shared chunked executor behind both the plain and the
+/// cancellable maps. `stop` is polled before each item; `None` compiles
+/// down to the unconditional loop.
+fn chunked_run<U, F, S>(n: usize, min_items: usize, stop: Option<&S>, f: F) -> ParOutcome<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+    S: Fn() -> bool + Sync,
+{
+    // One worker's share: compute items `lo..hi`, polling the stop
+    // predicate before each; `true` in the flag means the whole range
+    // completed.
+    let run_range = |lo: usize, hi: usize| -> (Vec<U>, bool) {
+        boe_chaos::inject_keyed(boe_chaos::sites::PAR_WORKER, lo as u64);
+        // Trailing chunks can be empty when n isn't divisible by the
+        // worker count (lo past the end).
+        let mut part = Vec::with_capacity(hi.saturating_sub(lo));
+        for i in lo..hi {
+            if stop.is_some_and(|s| s()) {
+                return (part, false);
+            }
+            part.push(f(i));
+        }
+        (part, true)
+    };
+
     let workers = threads().min(n);
     if workers <= 1 || n < min_items.max(MIN_PARALLEL_ITEMS) {
-        return (0..n).map(f).collect();
+        let (part, complete) = run_range(0, n);
+        return if complete {
+            ParOutcome::Complete(part)
+        } else {
+            ParOutcome::Interrupted { prefix: part }
+        };
     }
     let chunk = n.div_ceil(workers);
-    let f = &f;
+    let run_range = &run_range;
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let lo = w * chunk;
                 let hi = ((w + 1) * chunk).min(n);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<U>>())
+                s.spawn(move || run_range(lo, hi))
             })
             .collect();
         let mut out = Vec::with_capacity(n);
+        let mut interrupted = false;
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for h in handles {
             match h.join() {
-                Ok(part) => out.extend(part),
+                Ok((part, complete)) => {
+                    // Results after the first gap are discarded: the
+                    // returned prefix must be contiguous from item 0.
+                    if !interrupted {
+                        out.extend(part);
+                        if !complete {
+                            interrupted = true;
+                        }
+                    }
+                }
                 // Keep the first panic (lowest chunk index) — the one the
                 // serial loop would have hit first.
                 Err(payload) if panic.is_none() => panic = Some(payload),
@@ -115,7 +229,11 @@ where
         if let Some(payload) = panic {
             std::panic::resume_unwind(payload);
         }
-        out
+        if interrupted {
+            ParOutcome::Interrupted { prefix: out }
+        } else {
+            ParOutcome::Complete(out)
+        }
     })
 }
 
@@ -154,6 +272,62 @@ where
     R: FnMut(A, U) -> A,
 {
     par_map(items, map).into_iter().fold(init, fold)
+}
+
+/// [`par_map`] with cooperative cancellation (see
+/// [`try_par_map_indexed`]): returns the deterministic completed prefix
+/// when `should_stop` fires mid-run.
+pub fn try_par_map<T, U, F, S>(items: &[T], should_stop: &S, f: F) -> ParOutcome<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+    S: Fn() -> bool + Sync,
+{
+    try_par_map_indexed(items.len(), should_stop, |i| f(&items[i]))
+}
+
+/// Result of a cancellable map-reduce: the fold over however many items
+/// completed before the stop predicate fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceOutcome<A> {
+    /// The folded accumulator over items `0..consumed`.
+    pub value: A,
+    /// How many leading items were mapped and folded.
+    pub consumed: usize,
+    /// Whether the stop predicate cut the run short
+    /// (`consumed < items.len()`).
+    pub interrupted: bool,
+}
+
+/// [`par_map_reduce`] with cooperative cancellation: maps with early
+/// exit, then folds the deterministic completed prefix serially in index
+/// order. The partial fold is bit-identical to the serial loop stopped
+/// after [`ReduceOutcome::consumed`] items.
+pub fn try_par_map_reduce<T, U, A, M, R, S>(
+    items: &[T],
+    should_stop: &S,
+    map: M,
+    init: A,
+    fold: R,
+) -> ReduceOutcome<A>
+where
+    T: Sync,
+    U: Send,
+    M: Fn(&T) -> U + Sync,
+    R: FnMut(A, U) -> A,
+    S: Fn() -> bool + Sync,
+{
+    let (mapped, interrupted) = match try_par_map(items, should_stop, map) {
+        ParOutcome::Complete(v) => (v, false),
+        ParOutcome::Interrupted { prefix } => (prefix, true),
+    };
+    let consumed = mapped.len();
+    ReduceOutcome {
+        value: mapped.into_iter().fold(init, fold),
+        consumed,
+        interrupted,
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +446,104 @@ mod tests {
             let out = with_threads(4, || par_map_indexed(n, |i| i));
             assert_eq!(out, (0..n).collect::<Vec<usize>>(), "n = {n}");
         }
+    }
+
+    #[test]
+    fn try_map_without_stop_is_complete() {
+        let items: Vec<usize> = (0..50).collect();
+        let never = || false;
+        for nt in [1, 4] {
+            let out = with_threads(nt, || try_par_map(&items, &never, |&x| x * 2));
+            assert_eq!(
+                out,
+                ParOutcome::Complete((0..50).map(|x| x * 2).collect()),
+                "threads = {nt}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_stop_always_yields_empty_prefix() {
+        let items: Vec<usize> = (0..64).collect();
+        let always = || true;
+        for nt in [1, 2, 8] {
+            let out = with_threads(nt, || try_par_map(&items, &always, |&x| x));
+            assert_eq!(
+                out,
+                ParOutcome::Interrupted { prefix: Vec::new() },
+                "threads = {nt}"
+            );
+        }
+    }
+
+    #[test]
+    fn interrupted_prefix_is_serial_prefix() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..96).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x + 7).collect();
+        for nt in [1, 2, 3, 8] {
+            // Trip after a fixed number of polls; the exact cut point
+            // varies with scheduling but the prefix must always be a
+            // leading slice of the serial output.
+            let polls = AtomicUsize::new(0);
+            let stop = || polls.fetch_add(1, Ordering::SeqCst) >= 10;
+            let out = with_threads(nt, || try_par_map(&items, &stop, |&x| x + 7));
+            let prefix = out.into_results();
+            assert!(prefix.len() < items.len(), "threads = {nt}");
+            assert_eq!(prefix, serial[..prefix.len()], "threads = {nt}");
+        }
+    }
+
+    #[test]
+    fn try_reduce_partial_fold_matches_serial_prefix() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<f64> = (0..80).map(|i| 1.0 + i as f64 * 1e-3).collect();
+        let polls = AtomicUsize::new(0);
+        let stop = || polls.fetch_add(1, Ordering::SeqCst) >= 12;
+        let out = with_threads(4, || {
+            try_par_map_reduce(&items, &stop, |&x| x * 2.0, 0.0f64, |a, x| a + x)
+        });
+        assert!(out.interrupted);
+        assert!(out.consumed < items.len());
+        let serial = items[..out.consumed]
+            .iter()
+            .map(|&x| x * 2.0)
+            .fold(0.0f64, |a, x| a + x);
+        assert_eq!(out.value.to_bits(), serial.to_bits());
+    }
+
+    #[test]
+    fn try_map_panic_beats_interruption() {
+        let items: Vec<usize> = (0..64).collect();
+        let always = || true;
+        let caught = with_threads(4, || {
+            std::panic::catch_unwind(|| {
+                try_par_map(&items, &always, |&x| {
+                    if x == 0 {
+                        panic!("poisoned worker");
+                    }
+                    x
+                })
+            })
+        });
+        // Stop-always means item 0 is never computed, so no panic fires
+        // and we get a clean empty prefix — but a panic injected before
+        // the poll must still propagate. Exercise both shapes.
+        assert!(caught.is_ok());
+        let caught2 = with_threads(4, || {
+            std::panic::catch_unwind(|| {
+                let hits = std::sync::atomic::AtomicUsize::new(0);
+                let stop = || hits.fetch_add(1, Ordering::SeqCst) >= 30;
+                try_par_map(&items, &stop, |&x| {
+                    if x == 1 {
+                        panic!("poisoned worker");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = caught2.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("poisoned"), "{msg}");
     }
 }

@@ -14,5 +14,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Never bench with a chaos plan armed: injected faults poison timings,
+# and perf_report refuses to run if it sees one.
+export BOE_CHAOS=off
+
 cargo build --release --offline -p boe-bench
 cargo run --release --offline -p boe-bench --bin perf_report -- "$@"

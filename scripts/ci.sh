@@ -10,17 +10,32 @@ run() {
     "$@"
 }
 
+# A hung test run must fail CI, not stall it: the tier-1 suites run
+# under a generous wall-clock cap (the chaos matrix sleeps through its
+# stall faults, so the cap stays far above the honest runtime).
+TEST_TIMEOUT="${BOE_CI_TEST_TIMEOUT:-1800}"
+
 run cargo build --release --offline
-run cargo test -q --offline
-run cargo test -q --workspace --offline
+run timeout "$TEST_TIMEOUT" cargo test -q --offline
+run timeout "$TEST_TIMEOUT" cargo test -q --workspace --offline
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo fmt --check
 
 # Parallel-runtime gates: bit-identical output across thread counts, and
 # a small perf-report smoke run with the runtime forced to 2 threads
 # (covers the indexed inventory/occurrence-resolution bench stages).
+# Benches always run with chaos explicitly disarmed — an inherited
+# BOE_CHAOS plan would poison the timings (perf_report refuses anyway).
 run cargo test -q --offline --test parallel_determinism
-run env BOE_THREADS=2 cargo run --release --offline -p boe-bench --bin perf_report -- --smoke --out target/BENCH_smoke.json
+run env BOE_THREADS=2 BOE_CHAOS=off cargo run --release --offline -p boe-bench --bin perf_report -- --smoke --out target/BENCH_smoke.json
+
+# Resource-governance gates: budgets trip into truncated reports (never
+# aborts), `boe-par` early exit keeps a deterministic prefix, and the
+# full chaos matrix (every site × mode × {1,8} threads) stays
+# bit-identical across thread counts.
+run timeout "$TEST_TIMEOUT" cargo test -q --offline --test governor
+run timeout "$TEST_TIMEOUT" cargo test -q --offline -p boe-par --test early_exit
+run timeout "$TEST_TIMEOUT" cargo test -q --offline --test chaos_matrix
 
 # Occurrence-index gates: the positional index must reproduce the naive
 # corpus scan bit for bit — at the resolver level (randomized corpora,

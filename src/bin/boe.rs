@@ -5,6 +5,7 @@
 //! boe senses   <corpus.txt> <term> [--lang ..]
 //! boe link     <corpus.txt> <ontology.boe> <term> [--top N]
 //! boe pipeline <corpus.txt> <ontology.boe> [--top N] [--strict]
+//!              [--deadline-ms N] [--stage-deadline-ms N] [--max-alloc-mb N]
 //! boe demo
 //! ```
 //!
@@ -14,22 +15,62 @@
 //!
 //! Exit codes are stable per error class: 0 success, 1 I/O error,
 //! 2 usage error, 3 invalid/empty input, 4 language mismatch, 5 unknown
-//! term, 6 stage failure, 7 degraded run under `--strict`. Warnings and
-//! degradations always go to stderr.
+//! term, 6 stage failure, 7 degraded run under `--strict`, 8 deadline
+//! exceeded, 9 cancelled, 10 memory budget exhausted. Warnings and
+//! degradations always go to stderr; a budget-truncated report is still
+//! printed before the governed exit code is returned.
 
 use bio_onto_enrich::corpus::corpus::{Corpus, CorpusBuilder};
 use bio_onto_enrich::ontology::{io as onto_io, Ontology};
 use bio_onto_enrich::textkit::Language;
 use bio_onto_enrich::workflow::error::EnrichError;
+use bio_onto_enrich::workflow::governor::{self, BudgetConfig, TripKind};
 use bio_onto_enrich::workflow::linkage::{LinkerConfig, SemanticLinker};
 use bio_onto_enrich::workflow::senses::{SenseInducer, SenseInducerConfig};
 use bio_onto_enrich::workflow::termex::candidates::CandidateOptions;
 use bio_onto_enrich::workflow::termex::{TermExtractor, TermMeasure};
 use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt;
 use std::process::ExitCode;
 
+/// A counting allocator shim: delegates every call to [`System`] and
+/// feeds byte deltas into the workflow governor's approximate allocation
+/// accounting, enabling `--max-alloc-mb`. Library crates forbid `unsafe`,
+/// so the shim lives here in the binary.
+struct CountingAlloc;
+
+// SAFETY: all allocation is delegated verbatim to `System`; the shim
+// only adds relaxed atomic counter updates around it.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            governor::mem::note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        governor::mem::note_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            governor::mem::note_dealloc(layout.size());
+            governor::mem::note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 fn main() -> ExitCode {
+    governor::mem::mark_tracking_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -49,12 +90,14 @@ const USAGE: &str = "usage:
   boe senses   <corpus.txt> <term> [--lang en|fr|es]
   boe link     <corpus.txt> <ontology.boe> <term> [--top N]
   boe pipeline <corpus.txt> <ontology.boe> [--top N] [--strict]
+               [--deadline-ms N] [--stage-deadline-ms N] [--max-alloc-mb N]
   boe demo
 
 measures: c-value tf-idf okapi f-tfidf-c f-ocapi lidf-value tergraph
 
 exit codes: 0 ok · 1 i/o · 2 usage · 3 invalid input · 4 language
-mismatch · 5 unknown term · 6 stage failure · 7 degraded (--strict)";
+mismatch · 5 unknown term · 6 stage failure · 7 degraded (--strict) ·
+8 deadline exceeded · 9 cancelled · 10 memory budget exhausted";
 
 /// A CLI failure, mapped onto a stable exit code.
 #[derive(Debug)]
@@ -182,6 +225,16 @@ impl Flags {
                 .map_err(|_| CliError::Usage(format!("bad --top value {v:?}"))),
         }
     }
+
+    fn budget_u64(&self, name: &str) -> Result<Option<u64>, CliError> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("bad --{name} value {v:?}"))),
+        }
+    }
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
@@ -213,7 +266,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "pipeline" => cmd_pipeline(&Flags::parse(
             rest,
             &FlagSpec {
-                valued: &["top"],
+                valued: &["top", "deadline-ms", "stage-deadline-ms", "max-alloc-mb"],
                 boolean: &["strict"],
             },
         )?),
@@ -358,6 +411,11 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), CliError> {
     let corpus = load_corpus(corpus_path, ontology.language())?;
     let pipeline = EnrichmentPipeline::new(PipelineConfig {
         top_terms: flags.top(50)?,
+        budget: BudgetConfig {
+            deadline_ms: flags.budget_u64("deadline-ms")?,
+            stage_deadline_ms: flags.budget_u64("stage-deadline-ms")?,
+            max_alloc_mb: flags.budget_u64("max-alloc-mb")?,
+        },
         ..Default::default()
     });
     let report = pipeline.run(&corpus, &ontology)?;
@@ -370,7 +428,32 @@ fn cmd_pipeline(flags: &Flags) -> Result<(), CliError> {
             d.term, d.stage, d.reason
         );
     }
+    for t in &report.diagnostics.trips {
+        eprintln!(
+            "boe: budget trip: {} during {} — {}",
+            t.kind, t.stage, t.detail
+        );
+    }
     print!("{report}");
+    // A hard budget trip produced a truncated report; surface it as the
+    // matching governed exit code. Takes precedence over --strict.
+    if let Some(trip) = report.diagnostics.hard_trip() {
+        let err = match trip.kind {
+            TripKind::Deadline => Some(EnrichError::DeadlineExceeded {
+                elapsed_ms: trip.measured,
+                budget_ms: trip.limit,
+            }),
+            TripKind::Cancelled => Some(EnrichError::Cancelled),
+            TripKind::AllocBudget => Some(EnrichError::BudgetExhausted {
+                allocated_mb: trip.measured,
+                budget_mb: trip.limit,
+            }),
+            TripKind::StageDeadline => None,
+        };
+        if let Some(e) = err {
+            return Err(e.into());
+        }
+    }
     if flags.has("strict") && report.is_degraded() {
         return Err(EnrichError::Degraded {
             warnings: report.diagnostics.warning_count(),

@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use boe_chaos as chaos;
 pub use boe_cluster as cluster;
 pub use boe_core as workflow;
 pub use boe_corpus as corpus;

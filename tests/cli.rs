@@ -151,6 +151,59 @@ fn strict_mode_promotes_warnings_to_errors() {
 }
 
 #[test]
+fn zero_deadline_exits_8_after_printing_the_truncated_report() {
+    let corpus = write_temp("c8.txt", CORPUS);
+    let onto = write_temp("o8.boe", ONTOLOGY);
+    let out = boe(&[
+        "pipeline",
+        corpus.to_str().expect("utf8"),
+        onto.to_str().expect("utf8"),
+        "--deadline-ms",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(8), "deadline trips exit 8");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("truncated stages"),
+        "the truncated report is still printed: {stdout}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+}
+
+#[test]
+fn zero_memory_budget_exits_10() {
+    // The binary installs the counting allocator, so any allocation
+    // past the governor's baseline exhausts a 0 MiB budget.
+    let corpus = write_temp("c9.txt", CORPUS);
+    let onto = write_temp("o9.boe", ONTOLOGY);
+    let out = boe(&[
+        "pipeline",
+        corpus.to_str().expect("utf8"),
+        onto.to_str().expect("utf8"),
+        "--max-alloc-mb",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(10), "alloc budget trips exit 10");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("memory budget"));
+}
+
+#[test]
+fn bad_budget_flag_value_is_a_usage_error() {
+    let corpus = write_temp("c10.txt", CORPUS);
+    let onto = write_temp("o10.boe", ONTOLOGY);
+    let out = boe(&[
+        "pipeline",
+        corpus.to_str().expect("utf8"),
+        onto.to_str().expect("utf8"),
+        "--deadline-ms",
+        "soon",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deadline-ms"));
+}
+
+#[test]
 fn unknown_measure_is_rejected() {
     let corpus = write_temp("c4.txt", CORPUS);
     let out = boe(&[

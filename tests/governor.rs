@@ -1,0 +1,142 @@
+//! Resource-governance integration tests: budgets trip, the pipeline
+//! degrades, and the process never sees an abort.
+//!
+//! Hard trips (deadline, cancellation, allocation budget) truncate the
+//! remaining work into score-only term reports; the soft per-stage
+//! deadline downgrades Step III to its cheapest configuration and skips
+//! linkage. In every case `run` returns `Ok(report)` — exit codes are
+//! the CLI's business (see `tests/cli.rs`).
+
+use bio_onto_enrich::eval::world::{World, WorldConfig};
+use bio_onto_enrich::workflow::governor::{mem, BudgetConfig, CancelToken, Governor, TripKind};
+use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
+
+fn world() -> World {
+    World::generate(&WorldConfig {
+        n_concepts: 40,
+        n_holdout: 6,
+        abstracts_per_concept: 3,
+        seed: 0x60BE,
+        ..Default::default()
+    })
+}
+
+fn pipeline(budget: BudgetConfig) -> EnrichmentPipeline {
+    EnrichmentPipeline::new(PipelineConfig {
+        top_terms: 60,
+        budget,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn zero_deadline_truncates_instead_of_aborting() {
+    let w = world();
+    let report = pipeline(BudgetConfig {
+        deadline_ms: Some(0),
+        ..Default::default()
+    })
+    .run(&w.corpus, &w.reduced_ontology)
+    .expect("a tripped run still returns a report");
+
+    let trip = report
+        .diagnostics
+        .hard_trip()
+        .expect("a 0 ms deadline must trip");
+    assert_eq!(trip.kind, TripKind::Deadline);
+    assert!(trip.limit == 0, "limit echoes the configured budget");
+    // The trip fires at the first checkpoint, before Step I: every step
+    // is truncated and no term made it into the report.
+    assert_eq!(report.diagnostics.truncated.len(), 4);
+    assert!(report.terms.is_empty());
+    assert!(report.is_degraded());
+    let shown = report.to_string();
+    assert!(shown.contains("truncated stages"), "{shown}");
+}
+
+#[test]
+fn pre_cancelled_token_winds_down_with_a_cancelled_trip() {
+    let w = world();
+    let token = CancelToken::new();
+    token.cancel();
+    let report = pipeline(BudgetConfig::default())
+        .run_with_token(&w.corpus, &w.reduced_ontology, token)
+        .expect("cancellation is a trip, not an error");
+
+    let trip = report.diagnostics.hard_trip().expect("must trip");
+    assert_eq!(trip.kind, TripKind::Cancelled);
+    assert!(!report.diagnostics.truncated.is_empty());
+    assert!(report.terms.is_empty());
+}
+
+#[test]
+fn exhausted_allocation_budget_trips_at_the_next_checkpoint() {
+    let w = world();
+    // The test binary has no counting allocator; simulate one. The
+    // governor snapshots its baseline at construction, so allocations
+    // noted *after* `Governor::new` count against the budget.
+    mem::mark_tracking_installed();
+    let p = pipeline(BudgetConfig {
+        max_alloc_mb: Some(1),
+        ..Default::default()
+    });
+    let gov = Governor::new(p.config().budget);
+    mem::note_alloc(8 * 1024 * 1024);
+    let report = p
+        .run_governed(&w.corpus, &w.reduced_ontology, gov)
+        .expect("budget exhaustion is a trip, not an error");
+    mem::note_dealloc(8 * 1024 * 1024);
+
+    let trip = report.diagnostics.hard_trip().expect("must trip");
+    assert_eq!(trip.kind, TripKind::AllocBudget);
+    assert!(
+        trip.measured >= trip.limit,
+        "measured {} MiB vs limit {} MiB",
+        trip.measured,
+        trip.limit
+    );
+    assert!(report.terms.is_empty());
+}
+
+#[test]
+fn soft_stage_deadline_degrades_to_the_cheapest_induction() {
+    let w = world();
+    let report = pipeline(BudgetConfig {
+        stage_deadline_ms: Some(0),
+        ..Default::default()
+    })
+    .run(&w.corpus, &w.reduced_ontology)
+    .expect("a soft trip never fails the run");
+
+    // Soft trip: recorded, but not hard — no truncation, exit code 0.
+    assert!(report.diagnostics.hard_trip().is_none());
+    assert!(report
+        .diagnostics
+        .trips
+        .iter()
+        .any(|t| t.kind == TripKind::StageDeadline));
+    assert!(report.diagnostics.truncated.is_empty());
+    assert!(report
+        .diagnostics
+        .degraded
+        .iter()
+        .any(|d| d.reason.contains("cheapest induction")));
+    // The cheap pass still analyses every term (degraded, not
+    // truncated), but linkage is skipped wholesale.
+    assert!(!report.terms.is_empty(), "cheap pass still reports terms");
+    for t in &report.terms {
+        assert!(!t.truncated, "{}", t.surface);
+        assert!(t.propositions.is_empty(), "{}", t.surface);
+    }
+}
+
+#[test]
+fn unlimited_budget_reports_nothing() {
+    let w = world();
+    let report = pipeline(BudgetConfig::default())
+        .run(&w.corpus, &w.reduced_ontology)
+        .expect("valid input");
+    assert!(report.diagnostics.trips.is_empty());
+    assert!(report.diagnostics.truncated.is_empty());
+    assert!(report.terms.iter().all(|t| !t.truncated));
+}
