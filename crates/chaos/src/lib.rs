@@ -38,6 +38,10 @@ pub mod sites {
     pub const VALIDATE: &str = "pipeline.validate";
     /// Before Step I term extraction.
     pub const STEP1_EXTRACT: &str = "pipeline.step1";
+    /// Inside Step I candidate extraction, at the entry of the
+    /// per-document pattern scan (hit by both the parallel and the
+    /// serial extraction path).
+    pub const TERMEX_CANDIDATES: &str = "termex.candidates";
     /// Before Step II detector training.
     pub const STEP2_TRAIN: &str = "pipeline.step2.train";
     /// Before the Step III/IV inducer + linker construction.
@@ -58,9 +62,10 @@ pub mod sites {
     pub const PAR_WORKER: &str = "par.worker";
 
     /// Every site, for matrix sweeps.
-    pub const ALL: [&str; 10] = [
+    pub const ALL: [&str; 11] = [
         VALIDATE,
         STEP1_EXTRACT,
+        TERMEX_CANDIDATES,
         STEP2_TRAIN,
         STEP34_SETUP,
         FANOUT,

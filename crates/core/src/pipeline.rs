@@ -162,27 +162,45 @@ impl EnrichmentPipeline {
 
         // Step I: extract and rank candidates. Candidates already in the
         // ontology are training data for Step II, not enrichment targets.
+        // Extraction polls the governor before every document and
+        // candidate (hard trips only: soft stage deadlines keep their
+        // degrade-later semantics), so a long Step I can no longer starve
+        // `--deadline-ms` / cancellation until the first stage boundary.
         gov.begin_stage();
         let t0 = Instant::now();
-        let (already_known, new_terms) = guarded_stage(Stage::TermExtraction, || {
+        let stop_step1 = || gov.check_hard().is_some();
+        let extracted = guarded_stage(Stage::TermExtraction, || {
             boe_chaos::inject(boe_chaos::sites::STEP1_EXTRACT);
-            let extractor = TermExtractor::new(corpus, self.config.candidates);
-            let ranked = extractor.top(corpus, self.config.measure, self.config.top_terms);
-            let mut already_known = Vec::new();
-            let mut new_terms = Vec::new();
-            for r in ranked {
-                if ontology.contains_term(&r.surface) {
-                    already_known.push(r.surface);
-                } else {
-                    new_terms.push(r);
+            TermExtractor::try_new(corpus, self.config.candidates, &stop_step1).map(|extractor| {
+                let ranked = extractor.top(corpus, self.config.measure, self.config.top_terms);
+                let mut already_known = Vec::new();
+                let mut new_terms = Vec::new();
+                for r in ranked {
+                    if ontology.contains_term(&r.surface) {
+                        already_known.push(r.surface);
+                    } else {
+                        new_terms.push(r);
+                    }
                 }
-            }
-            (already_known, new_terms)
+                (already_known, new_terms)
+            })
         })?;
         diag.timings.push(StageTiming {
             stage: Stage::TermExtraction,
             elapsed: t0.elapsed(),
         });
+        let Some((already_known, new_terms)) = extracted else {
+            // Interrupted mid-extraction: partial candidate statistics
+            // would be prefix-dependent, so Step I reports no terms at
+            // all — deterministic at any thread count.
+            let trip = gov.check_hard().unwrap_or(TripKind::Deadline);
+            record_trip(&gov, &mut diag, trip, Stage::TermExtraction, ALL_STEPS);
+            return Ok(EnrichmentReport {
+                terms: Vec::new(),
+                already_known: Vec::new(),
+                diagnostics: diag,
+            });
+        };
         if new_terms.is_empty() {
             diag.warn("step I extracted no new candidate terms");
         }

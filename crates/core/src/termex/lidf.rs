@@ -22,6 +22,17 @@ pub fn lidf_value(index: &InvertedIndex, patterns: &PatternSet, term: &Candidate
     p_pattern * idf * c_value(term)
 }
 
+/// LIDF-values for a whole candidate set (index-aligned). Each score is
+/// an independent read-only computation, so the loop runs on `boe_par`
+/// (bit-identical to the serial map at any thread count).
+pub fn lidf_values(
+    index: &InvertedIndex,
+    patterns: &PatternSet,
+    set: &crate::termex::candidates::CandidateSet,
+) -> Vec<f64> {
+    boe_par::par_map_min(&set.terms, 64, |t| lidf_value(index, patterns, t))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,8 +90,32 @@ pub fn mean_token_idf(index: &InvertedIndex, term: &CandidateTerm) -> f64 {
 }
 
 /// Convenience: C-values for a whole candidate set (index-aligned).
+/// Scores are independent per candidate, so the loop runs on `boe_par`
+/// (bit-identical to the serial map at any thread count); the high
+/// serial threshold reflects how cheap one C-value is.
 pub fn c_values(set: &CandidateSet) -> Vec<f64> {
-    set.terms.iter().map(c_value).collect()
+    boe_par::par_map_min(&set.terms, 512, c_value)
+}
+
+/// Phrase TF-IDF for a whole candidate set (index-aligned), on `boe_par`.
+pub fn phrase_tf_idfs(index: &InvertedIndex, set: &CandidateSet) -> Vec<f64> {
+    boe_par::par_map_min(&set.terms, 64, |t| phrase_tf_idf(index, t))
+}
+
+/// Phrase Okapi BM25 for a whole candidate set (index-aligned), on
+/// `boe_par`.
+pub fn phrase_okapis(index: &InvertedIndex, set: &CandidateSet, params: Bm25Params) -> Vec<f64> {
+    boe_par::par_map_min(&set.terms, 64, |t| phrase_okapi(index, t, params))
+}
+
+/// F-TFIDF-C for a whole candidate set (index-aligned), on `boe_par`.
+pub fn f_tfidf_cs(index: &InvertedIndex, set: &CandidateSet) -> Vec<f64> {
+    boe_par::par_map_min(&set.terms, 64, |t| f_tfidf_c(index, t))
+}
+
+/// F-OCapi for a whole candidate set (index-aligned), on `boe_par`.
+pub fn f_ocapis(index: &InvertedIndex, set: &CandidateSet) -> Vec<f64> {
+    boe_par::par_map_min(&set.terms, 64, |t| f_ocapi(index, t))
 }
 
 #[cfg(test)]

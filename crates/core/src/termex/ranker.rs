@@ -1,8 +1,8 @@
 //! The term extractor: candidates + a chosen measure → ranked term list.
 
-use crate::termex::candidates::{extract_candidates, CandidateOptions, CandidateSet};
-use crate::termex::lidf::lidf_value;
-use crate::termex::measures::{c_value, f_ocapi, f_tfidf_c, phrase_okapi, phrase_tf_idf};
+use crate::termex::candidates::{try_extract_candidates, CandidateOptions, CandidateSet};
+use crate::termex::lidf::lidf_values;
+use crate::termex::measures::{c_values, f_ocapis, f_tfidf_cs, phrase_okapis, phrase_tf_idfs};
 use crate::termex::tergraph::{tergraph_scores, term_cooccurrence_graph};
 use boe_corpus::index::InvertedIndex;
 use boe_corpus::weighting::Bm25Params;
@@ -97,12 +97,25 @@ pub struct TermExtractor {
 impl TermExtractor {
     /// Build the extractor (extracts candidates eagerly).
     pub fn new(corpus: &Corpus, opts: CandidateOptions) -> Self {
-        let candidates = extract_candidates(corpus, opts);
-        TermExtractor {
+        Self::try_new(corpus, opts, &|| false).expect("never-stop predicate cannot interrupt")
+    }
+
+    /// [`new`](Self::new) with cooperative cancellation: `should_stop`
+    /// is threaded into candidate extraction (see
+    /// [`try_extract_candidates`]) so a resource governor can interrupt
+    /// a long Step I mid-scan. Returns `None` when interrupted — the
+    /// deterministic "no extractor" outcome, identical at any thread
+    /// count for a monotonic predicate.
+    pub fn try_new<S>(corpus: &Corpus, opts: CandidateOptions, should_stop: &S) -> Option<Self>
+    where
+        S: Fn() -> bool + Sync,
+    {
+        let candidates = try_extract_candidates(corpus, opts, should_stop)?;
+        Some(TermExtractor {
             candidates,
             index: InvertedIndex::build(corpus),
             patterns: PatternSet::for_language(corpus.language()),
-        }
+        })
     }
 
     /// The underlying candidate set.
@@ -119,46 +132,25 @@ impl TermExtractor {
     /// for determinism). `corpus` must be the corpus the extractor was
     /// built from (needed only by the graph-based measure).
     pub fn rank(&self, corpus: &Corpus, measure: TermMeasure) -> Vec<RankedTerm> {
+        // Each batch scorer fans its per-candidate loop out on `boe_par`
+        // (independent read-only scores, in-order reassembly): scores are
+        // bit-identical to the serial maps at any thread count.
         let scores: Vec<f64> = match measure {
-            TermMeasure::CValue => self.candidates.terms.iter().map(c_value).collect(),
-            TermMeasure::TfIdf => self
-                .candidates
-                .terms
-                .iter()
-                .map(|t| phrase_tf_idf(&self.index, t))
-                .collect(),
-            TermMeasure::Okapi => self
-                .candidates
-                .terms
-                .iter()
-                .map(|t| phrase_okapi(&self.index, t, Bm25Params::default()))
-                .collect(),
-            TermMeasure::FTfIdfC => self
-                .candidates
-                .terms
-                .iter()
-                .map(|t| f_tfidf_c(&self.index, t))
-                .collect(),
-            TermMeasure::FOCapi => self
-                .candidates
-                .terms
-                .iter()
-                .map(|t| f_ocapi(&self.index, t))
-                .collect(),
-            TermMeasure::LidfValue => self
-                .candidates
-                .terms
-                .iter()
-                .map(|t| lidf_value(&self.index, &self.patterns, t))
-                .collect(),
+            TermMeasure::CValue => c_values(&self.candidates),
+            TermMeasure::TfIdf => phrase_tf_idfs(&self.index, &self.candidates),
+            TermMeasure::Okapi => {
+                phrase_okapis(&self.index, &self.candidates, Bm25Params::default())
+            }
+            TermMeasure::FTfIdfC => f_tfidf_cs(&self.index, &self.candidates),
+            TermMeasure::FOCapi => f_ocapis(&self.index, &self.candidates),
+            TermMeasure::LidfValue => lidf_values(&self.index, &self.patterns, &self.candidates),
             TermMeasure::TerGraph => {
                 let graph = term_cooccurrence_graph(corpus, &self.candidates);
                 let tg = tergraph_scores(&graph);
-                self.candidates
-                    .terms
-                    .iter()
+                lidf_values(&self.index, &self.patterns, &self.candidates)
+                    .into_iter()
                     .zip(&tg)
-                    .map(|(t, g)| lidf_value(&self.index, &self.patterns, t) * g)
+                    .map(|(l, g)| l * g)
                     .collect()
             }
         };

@@ -4,7 +4,7 @@ use crate::doc::{DocId, Document, Sentence};
 use boe_textkit::pos::{PosTag, PosTagger};
 use boe_textkit::sentence::split_sentences;
 use boe_textkit::stopwords::StopwordSet;
-use boe_textkit::{Language, TokenId, Tokenizer, Vocabulary};
+use boe_textkit::{Language, Token, TokenId, Tokenizer, Vocabulary};
 
 /// A tokenized, tagged, interned document collection for one language.
 #[derive(Debug, Clone)]
@@ -138,28 +138,79 @@ impl CorpusBuilder {
     /// Tokenize, tag and intern one raw text as a new document. Returns its
     /// id.
     pub fn add_text(&mut self, text: &str) -> DocId {
-        let id = DocId(u32::try_from(self.docs.len()).expect("more than u32::MAX documents"));
-        let mut sentences = Vec::new();
-        let mut tok_buf = Vec::new();
-        for raw_sentence in split_sentences(text) {
-            tok_buf.clear();
-            self.tokenizer.tokenize_into(raw_sentence, &mut tok_buf);
-            if tok_buf.is_empty() {
-                continue;
+        let tagged = tokenize_doc(&self.tokenizer, &self.tagger, text);
+        self.intern_doc(tagged)
+    }
+
+    /// Batch ingestion: tokenize + POS-tag every text **in parallel**
+    /// (`boe_par::par_map` over documents), then intern the un-interned
+    /// sentence buffers into the shared [`Vocabulary`] in a serial
+    /// in-document-order pass. The serial intern pass assigns exactly the
+    /// `TokenId`s a serial [`add_text`](Self::add_text) loop would — first
+    /// occurrence in reading order wins — so the built corpus is
+    /// bit-identical at any thread count (equality-tested in
+    /// `tests/step1_parallel_equality.rs`).
+    pub fn add_texts<S: AsRef<str> + Sync>(&mut self, texts: &[S]) -> Vec<DocId> {
+        let (ids, interrupted) = self.try_add_texts(texts, &|| false);
+        debug_assert!(!interrupted, "never-stop predicate cannot interrupt");
+        ids
+    }
+
+    /// [`add_texts`](Self::add_texts) with cooperative cancellation:
+    /// `should_stop` is polled before each document in both phases (the
+    /// parallel tokenize/tag fan-out and the serial intern pass). When it
+    /// first returns `true`, only the deterministic completed prefix of
+    /// documents is added and the second tuple field is `true`. The
+    /// predicate must be monotonic (once `true`, stay `true`).
+    pub fn try_add_texts<S, F>(&mut self, texts: &[S], should_stop: &F) -> (Vec<DocId>, bool)
+    where
+        S: AsRef<str> + Sync,
+        F: Fn() -> bool + Sync,
+    {
+        // Phase 1 (parallel, no shared state): raw text → tagged token
+        // buffers. Tokenizer and tagger are reentrant (`&self`, Sync).
+        let (tokenizer, tagger) = (&self.tokenizer, &self.tagger);
+        let outcome = boe_par::try_par_map(texts, should_stop, |t| {
+            tokenize_doc(tokenizer, tagger, t.as_ref())
+        });
+        let interrupted = outcome.is_interrupted();
+        let tagged_docs = outcome.into_results();
+        // Phase 2 (serial, in order): intern into the shared vocabulary.
+        // Token ids depend only on first-seen order, which this pass
+        // replays exactly as the serial ingestion loop would.
+        let mut ids = Vec::with_capacity(tagged_docs.len());
+        let mut stopped_at = None;
+        for (i, tagged) in tagged_docs.into_iter().enumerate() {
+            if should_stop() {
+                stopped_at = Some(i);
+                break;
             }
-            let tags = self.tagger.tag(&tok_buf);
-            let ids: Vec<TokenId> = tok_buf
-                .iter()
-                .map(|t| {
-                    let id = self.vocab.intern(&t.text);
-                    if id.index() == self.stop.len() {
-                        self.stop.push(self.stopwords.contains(&t.text));
-                    }
-                    id
-                })
-                .collect();
-            sentences.push(Sentence::new(ids, tags));
+            ids.push(self.intern_doc(tagged));
         }
+        (ids, interrupted || stopped_at.is_some())
+    }
+
+    /// Serial intern pass shared by [`add_text`](Self::add_text) and
+    /// [`add_texts`](Self::add_texts): push one document of tagged
+    /// sentence buffers, interning tokens in reading order.
+    fn intern_doc(&mut self, tagged: Vec<(Vec<Token>, Vec<PosTag>)>) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("more than u32::MAX documents"));
+        let sentences = tagged
+            .into_iter()
+            .map(|(toks, tags)| {
+                let ids: Vec<TokenId> = toks
+                    .iter()
+                    .map(|t| {
+                        let id = self.vocab.intern(&t.text);
+                        if id.index() == self.stop.len() {
+                            self.stop.push(self.stopwords.contains(&t.text));
+                        }
+                        id
+                    })
+                    .collect();
+                Sentence::new(ids, tags)
+            })
+            .collect();
         self.docs.push(Document { id, sentences });
         id
     }
@@ -213,6 +264,26 @@ impl CorpusBuilder {
             stop: self.stop,
         }
     }
+}
+
+/// The pure per-document half of ingestion: sentence-split, tokenize and
+/// POS-tag one raw text, dropping empty sentences. Free of builder state
+/// so the batch path can run it on worker threads.
+fn tokenize_doc(
+    tokenizer: &Tokenizer,
+    tagger: &PosTagger,
+    text: &str,
+) -> Vec<(Vec<Token>, Vec<PosTag>)> {
+    let mut out = Vec::new();
+    for raw_sentence in split_sentences(text) {
+        let toks = tokenizer.tokenize(raw_sentence);
+        if toks.is_empty() {
+            continue;
+        }
+        let tags = tagger.tag(&toks);
+        out.push((toks, tags));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -301,6 +372,52 @@ mod tests {
             "empty sentences dropped"
         );
         assert!(c.hygiene().is_clean());
+    }
+
+    #[test]
+    fn add_texts_matches_serial_ingestion() {
+        let texts = [
+            "Corneal injuries are severe. The cornea heals slowly.",
+            "Eye injuries include corneal injuries.",
+            "",
+            "Amniotic membrane grafts support the epithelium.",
+        ];
+        let mut serial = CorpusBuilder::new(Language::English);
+        for t in &texts {
+            serial.add_text(t);
+        }
+        let serial = serial.build();
+        for threads in [1usize, 8] {
+            boe_par::set_threads(Some(threads));
+            let mut batch = CorpusBuilder::new(Language::English);
+            let ids = batch.add_texts(&texts);
+            let batch = batch.build();
+            boe_par::set_threads(None);
+            assert_eq!(ids.len(), texts.len());
+            assert_eq!(batch.len(), serial.len());
+            assert_eq!(batch.vocab().len(), serial.vocab().len());
+            for (a, b) in batch.vocab().iter().zip(serial.vocab().iter()) {
+                assert_eq!(a, b, "vocab diverges at {threads} thread(s)");
+            }
+            for (da, db) in batch.docs().iter().zip(serial.docs().iter()) {
+                assert_eq!(da.sentences, db.sentences);
+            }
+            assert_eq!(batch.stop, serial.stop);
+        }
+    }
+
+    #[test]
+    fn try_add_texts_keeps_deterministic_prefix() {
+        let texts = ["one cornea.", "two corneas.", "three corneas."];
+        let mut b = CorpusBuilder::new(Language::English);
+        let (ids, interrupted) = b.try_add_texts(&texts, &|| true);
+        assert!(interrupted);
+        assert!(ids.is_empty());
+        assert!(b.is_empty());
+        let (ids, interrupted) = b.try_add_texts(&texts, &|| false);
+        assert!(!interrupted);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(b.len(), 3);
     }
 
     #[test]

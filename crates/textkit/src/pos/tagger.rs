@@ -7,11 +7,23 @@ use crate::pos::tags::PosTag;
 use crate::token::{Token, TokenKind};
 
 /// Deterministic POS tagger (see module docs of [`crate::pos`]).
+///
+/// Tagging is reentrant: [`tag`](Self::tag) takes `&self` and the
+/// lexicon is read-only after construction, so one tagger can be shared
+/// across worker threads (the batch ingestion path in `boe-corpus`
+/// relies on this).
 #[derive(Debug, Clone)]
 pub struct PosTagger {
     lang: Language,
     lexicon: Lexicon,
 }
+
+/// Compile-time proof that [`PosTagger`] stays shareable across threads;
+/// the parallel ingestion path breaks if a future field loses `Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PosTagger>();
+};
 
 impl PosTagger {
     /// Build a tagger for `lang`.

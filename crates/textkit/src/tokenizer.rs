@@ -12,6 +12,10 @@ use crate::lang::Language;
 use crate::token::{Token, TokenKind};
 
 /// Configurable tokenizer. Construct once per language and reuse.
+///
+/// Tokenization is reentrant: every method takes `&self` and touches no
+/// shared mutable state, so one tokenizer can be shared across worker
+/// threads (the batch ingestion path in `boe-corpus` relies on this).
 #[derive(Debug, Clone)]
 pub struct Tokenizer {
     lang: Language,
@@ -19,6 +23,13 @@ pub struct Tokenizer {
     /// filter usually removes them later anyway).
     pub keep_single_chars: bool,
 }
+
+/// Compile-time proof that [`Tokenizer`] stays shareable across threads;
+/// the parallel ingestion path breaks if a future field loses `Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Tokenizer>();
+};
 
 impl Tokenizer {
     /// Tokenizer for `lang` with default settings.

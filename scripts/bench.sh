@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Build the release workspace and write the machine-readable perf report
-# (BENCH_3.json) for the Step I–IV hot paths, including the indexed
-# vs naive occurrence-resolution and inventory-build stages
-# (`speedup_inventory_build_indexed_vs_naive` is the headline number).
+# (BENCH_5.json) for the Step I–IV hot paths: the parallel Step I
+# kernels (corpus_ingest_*, term_extraction_*, tergraph_*), the indexed
+# vs naive occurrence-resolution and inventory-build stages, and the
+# Step III/IV scoring kernels.
 #
 # Usage:
-#   scripts/bench.sh            # full run, writes BENCH_3.json at repo root
+#   scripts/bench.sh            # full run, writes BENCH_5.json at repo root
 #   scripts/bench.sh --smoke    # small corpus + short thread sweep (CI)
 #
 # Any extra arguments are passed through to the perf_report binary
 # (e.g. `--out PATH`). Thread-scaling stages are only meaningful on
-# hosts with more than one core; the JSON records `threads_available`.
+# hosts with more than one core; the JSON records `threads_available`
+# and omits the `speedup_*_Nt` keys entirely on single-core hosts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -21,12 +21,15 @@ run timeout "$TEST_TIMEOUT" cargo test -q --workspace --offline
 run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo fmt --check
 
-# Parallel-runtime gates: bit-identical output across thread counts, and
-# a small perf-report smoke run with the runtime forced to 2 threads
-# (covers the indexed inventory/occurrence-resolution bench stages).
+# Parallel-runtime gates: bit-identical output across thread counts
+# (full pipeline + similarity matrix), the randomized Step I
+# serial-vs-parallel equality sweep (EN/FR/ES raw corpora, 1 vs 8
+# threads, byte-level vocabulary/candidate/graph comparison), and a
+# small perf-report smoke run with the runtime forced to 2 threads.
 # Benches always run with chaos explicitly disarmed — an inherited
 # BOE_CHAOS plan would poison the timings (perf_report refuses anyway).
 run cargo test -q --offline --test parallel_determinism
+run timeout "$TEST_TIMEOUT" cargo test -q --offline --test step1_parallel_equality
 run env BOE_THREADS=2 BOE_CHAOS=off cargo run --release --offline -p boe-bench --bin perf_report -- --smoke --out target/BENCH_smoke.json
 
 # Resource-governance gates: budgets trip into truncated reports (never

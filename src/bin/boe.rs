@@ -288,9 +288,13 @@ fn load_corpus(path: &str, lang: Language) -> Result<Corpus, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Io(format!("cannot read {path:?}: {e}")))?;
     let mut builder = CorpusBuilder::new(lang);
-    for doc in text.split("\n\n").filter(|d| !d.trim().is_empty()) {
-        builder.add_text(doc);
-    }
+    // Batch ingestion: tokenize + tag every document in parallel, then
+    // intern serially in order — same corpus as a per-document loop.
+    let docs: Vec<&str> = text
+        .split("\n\n")
+        .filter(|d| !d.trim().is_empty())
+        .collect();
+    builder.add_texts(&docs);
     if builder.is_empty() {
         return Err(EnrichError::InvalidInput(format!("{path:?} contains no documents")).into());
     }

@@ -7,6 +7,7 @@
 //! linkage. In every case `run` returns `Ok(report)` — exit codes are
 //! the CLI's business (see `tests/cli.rs`).
 
+use bio_onto_enrich::chaos::{self, sites, ChaosPlan, FaultMode};
 use bio_onto_enrich::eval::world::{World, WorldConfig};
 use bio_onto_enrich::workflow::governor::{mem, BudgetConfig, CancelToken, Governor, TripKind};
 use bio_onto_enrich::workflow::{EnrichmentPipeline, PipelineConfig};
@@ -128,6 +129,43 @@ fn soft_stage_deadline_degrades_to_the_cheapest_induction() {
         assert!(!t.truncated, "{}", t.surface);
         assert!(t.propositions.is_empty(), "{}", t.surface);
     }
+}
+
+/// Step-I-heavy trip case: a stall injected *inside* candidate
+/// extraction (the `termex.candidates` site) must be caught by the
+/// governor checkpoints that Step I now polls — before this PR the
+/// deadline could only trip at the next stage boundary, after the whole
+/// serial extraction had run to completion.
+///
+/// The armed stall plan is benign for the tests running concurrently in
+/// this binary: they either trip before Step I (never reaching the
+/// site) or carry no deadline (the stall only slows them down).
+#[test]
+fn step1_stall_trips_the_deadline_mid_extraction() {
+    let w = world();
+    let mut plan = ChaosPlan::new(sites::TERMEX_CANDIDATES, FaultMode::Stall);
+    plan.stall_ms = 300;
+    chaos::install(Some(plan));
+    let report = pipeline(BudgetConfig {
+        deadline_ms: Some(100),
+        ..Default::default()
+    })
+    .run(&w.corpus, &w.reduced_ontology)
+    .expect("a mid-step-I trip still returns a report");
+    chaos::install(None);
+
+    let trip = report
+        .diagnostics
+        .hard_trip()
+        .expect("the stalled extraction must trip the deadline");
+    assert_eq!(trip.kind, TripKind::Deadline);
+    // An interrupted extraction yields no terms at all (partial
+    // candidate statistics would be prefix-dependent): all four steps
+    // are truncated and the report is empty but structured.
+    assert!(report.terms.is_empty());
+    assert!(report.already_known.is_empty());
+    assert_eq!(report.diagnostics.truncated.len(), 4);
+    assert!(report.is_degraded());
 }
 
 #[test]

@@ -94,6 +94,27 @@ fn serial_and_parallel_runs_are_bit_identical() {
         }
     }
 
+    // Step-III kernel: the row-range-chunked similarity matrix must stay
+    // bit-identical across thread counts (chunk boundaries move with the
+    // worker count; cell values must not).
+    use bio_onto_enrich::cluster::similarity::similarity_matrix;
+    use bio_onto_enrich::corpus::SparseVector;
+    let unit: Vec<SparseVector> = (0..97u32)
+        .map(|i| {
+            SparseVector::from_pairs([
+                (i % 13, 1.0 + f64::from(i) * 0.37),
+                (i % 7, 0.25),
+                ((i * 31) % 401, 0.11),
+            ])
+            .normalized()
+        })
+        .collect();
+    boe_par::set_threads(Some(1));
+    let m1 = similarity_matrix(&unit);
+    boe_par::set_threads(Some(8));
+    let m8 = similarity_matrix(&unit);
+    assert_eq!(m1, m8, "similarity matrix diverges across thread counts");
+
     boe_par::set_threads(None);
     assert_reports_identical(&serial, &parallel);
     assert!(!serial.terms.is_empty(), "nothing analysed — vacuous test");
